@@ -1,0 +1,234 @@
+// Package bench is the benchmark harness that regenerates every table of
+// the paper's evaluation section. Each BenchmarkTable* target executes the
+// corresponding experiment end-to-end (all methods, all datasets or setups)
+// and prints the table in the paper's layout.
+//
+// Scale defaults to "smoke" so `go test -bench=.` finishes in minutes on
+// one CPU core; set REFFIL_BENCH_SCALE=mini or =paper for the larger
+// presets (EXPERIMENTS.md records mini-scale results). All scales run
+// identical code paths.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"reffil/internal/core"
+	"reffil/internal/experiments"
+)
+
+// benchScale reads the scale preset from the environment.
+func benchScale(b *testing.B) experiments.Scale {
+	b.Helper()
+	s := os.Getenv("REFFIL_BENCH_SCALE")
+	if s == "" {
+		s = "smoke"
+	}
+	scale, err := experiments.ParseScale(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scale
+}
+
+const benchSeed = 2025
+
+// allDatasets are the paper's four benchmarks.
+var allDatasets = []string{"digitsfive", "officecaltech10", "pacs", "feddomainnet"}
+
+// reportRefFiL attaches RefFiL's headline metrics to the benchmark output.
+func reportRefFiL(b *testing.B, res experiments.Result) {
+	b.ReportMetric(res.Summary.Avg*100, "avg%")
+	b.ReportMetric(res.Summary.Last*100, "last%")
+}
+
+func runMain(b *testing.B, order experiments.Order) experiments.MainComparison {
+	b.Helper()
+	scale := benchScale(b)
+	var res experiments.MainComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunMainComparison(scale, order, allDatasets, benchSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkTableI regenerates Table I: summarized Avg/Last for all eight
+// methods on all four datasets under the paper's default domain order.
+func BenchmarkTableI(b *testing.B) {
+	res := runMain(b, experiments.OrderA)
+	b.StopTimer()
+	if err := experiments.PrintSummaryTable(os.Stdout, "\nTable I (domain order A, scale "+benchScale(b).String()+")", allDatasets, res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["digitsfive"]["RefFiL"])
+}
+
+// BenchmarkTableII regenerates Table II: the Table I comparison under the
+// shuffled domain order.
+func BenchmarkTableII(b *testing.B) {
+	res := runMain(b, experiments.OrderB)
+	b.StopTimer()
+	if err := experiments.PrintSummaryTable(os.Stdout, "\nTable II (domain order B, scale "+benchScale(b).String()+")", allDatasets, res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["digitsfive"]["RefFiL"])
+}
+
+// BenchmarkTableIII regenerates Table III: per-domain task accuracy for
+// every method on every dataset, default order.
+func BenchmarkTableIII(b *testing.B) {
+	res := runMain(b, experiments.OrderA)
+	b.StopTimer()
+	for _, ds := range allDatasets {
+		title := fmt.Sprintf("\nTable III — %s (order A, scale %s)", ds, benchScale(b))
+		if err := experiments.PrintPerTaskTable(os.Stdout, title, ds, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRefFiL(b, res["pacs"]["RefFiL"])
+}
+
+// BenchmarkTableIV regenerates Table IV: per-domain task accuracy under the
+// shuffled domain order.
+func BenchmarkTableIV(b *testing.B) {
+	res := runMain(b, experiments.OrderB)
+	b.StopTimer()
+	for _, ds := range allDatasets {
+		title := fmt.Sprintf("\nTable IV — %s (order B, scale %s)", ds, benchScale(b))
+		if err := experiments.PrintPerTaskTable(os.Stdout, title, ds, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRefFiL(b, res["pacs"]["RefFiL"])
+}
+
+// BenchmarkTableV regenerates Table V: Avg/Last/FGT/BwT on OfficeCaltech10
+// under the four client-selection/transfer setups.
+func BenchmarkTableV(b *testing.B) {
+	scale := benchScale(b)
+	var res map[string]map[string]experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTableV(scale, benchSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := experiments.PrintSelectionTable(os.Stdout, "\nTable V (OfficeCaltech10, scale "+scale.String()+")", res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["Sel 8, 80% of M"]["RefFiL"])
+}
+
+// BenchmarkTableVI regenerates Table VI: Digits-Five with 10 clients,
+// Sel 10, 90% task transfer.
+func BenchmarkTableVI(b *testing.B) {
+	scale := benchScale(b)
+	var res map[string]experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTableVI(scale, benchSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := experiments.PrintMetricTable(os.Stdout, "\nTable VI (Digits-Five, Sel 10, 90%, scale "+scale.String()+")", res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["RefFiL"])
+}
+
+// BenchmarkTableVII regenerates Table VII: the CDAP/GPL/DPCL component
+// ablation on OfficeCaltech10.
+func BenchmarkTableVII(b *testing.B) {
+	scale := benchScale(b)
+	var res map[string]experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTableVII(scale, benchSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := experiments.PrintAblationTable(os.Stdout, "\nTable VII (ablation, OfficeCaltech10, scale "+scale.String()+")", res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["CDAP+GPL+DPCL"])
+}
+
+// BenchmarkAblationClustering is a design-choice ablation beyond the
+// paper's tables: FINCH prompt clustering (Eq. 7–8) versus plain per-class
+// prompt averaging, which §IV argues loses domain-characterized features.
+func BenchmarkAblationClustering(b *testing.B) {
+	scale := benchScale(b)
+	var finch, plain experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		finch, err = experiments.RunVariant("RefFiL(FINCH)", "officecaltech10", scale, experiments.OrderA, benchSeed, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, err = experiments.RunVariant("RefFiL(mean)", "officecaltech10", scale, experiments.OrderA, benchSeed,
+			func(c *core.Config) { c.DisableClustering = true }, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nAblation: global prompt clustering (scale %s)\n", scale)
+	fmt.Printf("  FINCH clustering: Avg %.2f%%  Last %.2f%%\n", finch.Summary.Avg*100, finch.Summary.Last*100)
+	fmt.Printf("  plain averaging:  Avg %.2f%%  Last %.2f%%\n", plain.Summary.Avg*100, plain.Summary.Last*100)
+	reportRefFiL(b, finch)
+}
+
+// BenchmarkAblationPromptLen sweeps the generated prompt length p, a CDAP
+// design choice the paper fixes implicitly.
+func BenchmarkAblationPromptLen(b *testing.B) {
+	scale := benchScale(b)
+	lengths := []int{1, 2, 4, 8}
+	results := make([]experiments.Result, len(lengths))
+	for i := 0; i < b.N; i++ {
+		for j, p := range lengths {
+			p := p
+			res, err := experiments.RunVariant(fmt.Sprintf("RefFiL(p=%d)", p), "officecaltech10", scale, experiments.OrderA, benchSeed,
+				func(c *core.Config) { c.PromptLen = p }, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[j] = res
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nAblation: CDAP prompt length (scale %s)\n", scale)
+	for j, p := range lengths {
+		fmt.Printf("  p=%d: Avg %.2f%%  Last %.2f%%\n", p, results[j].Summary.Avg*100, results[j].Summary.Last*100)
+	}
+	reportRefFiL(b, results[2])
+}
+
+// BenchmarkTableVIII regenerates Table VIII: the τ/τmin/γ/β sensitivity
+// sweep on OfficeCaltech10 (order B), including the w/o τ′ control.
+func BenchmarkTableVIII(b *testing.B) {
+	scale := benchScale(b)
+	var res map[string]experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTableVIII(scale, benchSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := experiments.PrintTemperatureTable(os.Stdout, "\nTable VIII (temperature sensitivity, scale "+scale.String()+")", res); err != nil {
+		b.Fatal(err)
+	}
+	reportRefFiL(b, res["ours"])
+}

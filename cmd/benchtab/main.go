@@ -1,0 +1,119 @@
+// Command benchtab regenerates one table of the paper's evaluation section
+// and prints it in the paper's layout.
+//
+// Usage:
+//
+//	benchtab -table I    -scale mini      # Tables I..VIII
+//	benchtab -table VII  -scale paper -seed 3
+//
+// Tables I/III share a computation (order A), as do II/IV (order B); asking
+// for either member runs the comparison once and prints the requested view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"reffil/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+var allDatasets = []string{"digitsfive", "officecaltech10", "pacs", "feddomainnet"}
+
+func run() error {
+	var (
+		table  = flag.String("table", "I", "paper table to regenerate (I..VIII)")
+		scaleF = flag.String("scale", "mini", "run scale (smoke, mini, paper)")
+		seed   = flag.Int64("seed", 2025, "random seed")
+		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleF)
+	if err != nil {
+		return err
+	}
+	progress := func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	if *quiet {
+		progress = nil
+	}
+
+	switch strings.ToUpper(*table) {
+	case "I", "III", "I+III":
+		res, err := experiments.RunMainComparison(scale, experiments.OrderA, allDatasets, *seed, progress)
+		if err != nil {
+			return err
+		}
+		want := strings.ToUpper(*table)
+		if want == "I" || want == "I+III" {
+			if err := experiments.PrintSummaryTable(os.Stdout, title("Table I", scale), allDatasets, res); err != nil {
+				return err
+			}
+		}
+		if want == "III" || want == "I+III" {
+			for _, ds := range allDatasets {
+				if err := experiments.PrintPerTaskTable(os.Stdout, title("Table III — "+ds, scale), ds, res); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "II", "IV", "II+IV":
+		res, err := experiments.RunMainComparison(scale, experiments.OrderB, allDatasets, *seed, progress)
+		if err != nil {
+			return err
+		}
+		want := strings.ToUpper(*table)
+		if want == "II" || want == "II+IV" {
+			if err := experiments.PrintSummaryTable(os.Stdout, title("Table II", scale), allDatasets, res); err != nil {
+				return err
+			}
+		}
+		if want == "IV" || want == "II+IV" {
+			for _, ds := range allDatasets {
+				if err := experiments.PrintPerTaskTable(os.Stdout, title("Table IV — "+ds, scale), ds, res); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "V":
+		res, err := experiments.RunTableV(scale, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return experiments.PrintSelectionTable(os.Stdout, title("Table V (OfficeCaltech10)", scale), res)
+	case "VI":
+		res, err := experiments.RunTableVI(scale, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return experiments.PrintMetricTable(os.Stdout, title("Table VI (Digits-Five, Sel 10, 90%)", scale), res)
+	case "VII":
+		res, err := experiments.RunTableVII(scale, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return experiments.PrintAblationTable(os.Stdout, title("Table VII (ablation, OfficeCaltech10)", scale), res)
+	case "VIII":
+		res, err := experiments.RunTableVIII(scale, *seed, progress)
+		if err != nil {
+			return err
+		}
+		return experiments.PrintTemperatureTable(os.Stdout, title("Table VIII (temperature sensitivity)", scale), res)
+	default:
+		return fmt.Errorf("unknown table %q (want I..VIII)", *table)
+	}
+}
+
+func title(name string, scale experiments.Scale) string {
+	return fmt.Sprintf("%s — scale %s", name, scale)
+}

@@ -1,0 +1,149 @@
+// Command fedserver is the coordinator side of a real networked federation:
+// it listens for workers, broadcasts the global model each round, FedAvgs
+// the returned updates, evaluates on a held-out set, and optionally
+// checkpoints the aggregate.
+//
+// Start the server, then one fedworker per participant:
+//
+//	fedserver -addr 127.0.0.1:7000 -workers 3 -rounds 5 -dataset pacs -domain photo
+//	fedworker -addr 127.0.0.1:7000 -id 0 -of 3 -dataset pacs -domain photo &
+//	fedworker -addr 127.0.0.1:7000 -id 1 -of 3 -dataset pacs -domain photo &
+//	fedworker -addr 127.0.0.1:7000 -id 2 -of 3 -dataset pacs -domain photo &
+//
+// Both sides derive the same synthetic data from (dataset, domain, seed),
+// so no data ever crosses the wire — only model state, as in FL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"reffil/internal/baselines"
+	"reffil/internal/checkpoint"
+	"reffil/internal/data"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/metrics"
+	"reffil/internal/model"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
+		workers = flag.Int("workers", 3, "number of workers to wait for")
+		rounds  = flag.Int("rounds", 5, "communication rounds")
+		dataset = flag.String("dataset", "pacs", "dataset family")
+		domain  = flag.String("domain", "", "domain (default: family's first)")
+		seed    = flag.Int64("seed", 1, "shared data/model seed")
+		ckpt    = flag.String("checkpoint", "", "path to write the final global model")
+		timeout = flag.Duration("accept-timeout", 60*time.Second, "worker accept timeout")
+	)
+	flag.Parse()
+
+	family, err := data.NewFamily(*dataset, 16)
+	if err != nil {
+		return err
+	}
+	d := *domain
+	if d == "" {
+		d = family.Domains[0]
+	}
+	_, test, err := family.Generate(d, 1, 200, *seed)
+	if err != nil {
+		return err
+	}
+
+	global, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+
+	coord, err := transport.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Printf("listening on %s, waiting for %d workers...\n", coord.Addr(), *workers)
+	if err := coord.Accept(*workers, *timeout); err != nil {
+		return err
+	}
+	fmt.Println("all workers connected")
+
+	evalAcc := func() (float64, error) {
+		batches, err := data.EvalBatches(test, 25)
+		if err != nil {
+			return 0, err
+		}
+		var pred, labels []int
+		for _, b := range batches {
+			p, err := global.Predict(b.X)
+			if err != nil {
+				return 0, err
+			}
+			pred = append(pred, p...)
+			labels = append(labels, b.Y...)
+		}
+		return metrics.Accuracy(pred, labels)
+	}
+
+	for r := 0; r < *rounds; r++ {
+		updates, err := coord.Round(transport.Broadcast{
+			Round: r,
+			State: transport.ToWire(nn.StateDict(global.Global())),
+		})
+		if err != nil {
+			return err
+		}
+		var dicts []map[string]*tensor.Tensor
+		var weights []float64
+		for _, u := range updates {
+			if u.Skip {
+				continue
+			}
+			du, err := transport.FromWire(u.State)
+			if err != nil {
+				return err
+			}
+			dicts = append(dicts, du)
+			weights = append(weights, u.Weight)
+		}
+		if len(dicts) == 0 {
+			fmt.Printf("round %d: no updates\n", r)
+			continue
+		}
+		avg, err := fl.WeightedAverage(dicts, weights)
+		if err != nil {
+			return err
+		}
+		if err := nn.LoadStateDict(global.Global(), avg); err != nil {
+			return err
+		}
+		acc, err := evalAcc()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: %d updates aggregated, eval accuracy %.2f%%\n", r, len(dicts), acc*100)
+	}
+	if _, err := coord.Round(transport.Broadcast{Done: true}); err != nil {
+		return err
+	}
+	if *ckpt != "" {
+		if err := checkpoint.SaveModule(*ckpt, global.Global()); err != nil {
+			return err
+		}
+		fmt.Println("saved global model to", *ckpt)
+	}
+	return nil
+}

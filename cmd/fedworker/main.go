@@ -1,0 +1,100 @@
+// Command fedworker is the participant side of a real networked federation:
+// it derives its private shard from (dataset, domain, seed, id), connects
+// to a fedserver, and serves training rounds until the coordinator signals
+// completion. Only model state crosses the wire.
+//
+// See cmd/fedserver for the full deployment recipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"reffil/internal/baselines"
+	"reffil/internal/data"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/model"
+	"reffil/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "coordinator address")
+		id      = flag.Int("id", 0, "worker id (0-based)")
+		of      = flag.Int("of", 3, "total worker count (for sharding)")
+		dataset = flag.String("dataset", "pacs", "dataset family")
+		domain  = flag.String("domain", "", "domain (default: family's first)")
+		seed    = flag.Int64("seed", 1, "shared data/model seed")
+		samples = flag.Int("samples", 150, "total training samples across workers")
+		epochs  = flag.Int("epochs", 2, "local epochs per round")
+		batch   = flag.Int("batch", 8, "local batch size")
+		lr      = flag.Float64("lr", 0.05, "local learning rate")
+	)
+	flag.Parse()
+	if *id < 0 || *id >= *of {
+		return fmt.Errorf("worker id %d outside [0,%d)", *id, *of)
+	}
+
+	family, err := data.NewFamily(*dataset, 16)
+	if err != nil {
+		return err
+	}
+	d := *domain
+	if d == "" {
+		d = family.Domains[0]
+	}
+	// All workers derive the same deterministic partition and each takes
+	// its own shard: the data never touches the network.
+	train, _, err := family.Generate(d, *samples, 1, *seed)
+	if err != nil {
+		return err
+	}
+	shards, err := data.PartitionQuantityShift(train, *of, 0.5, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	shard := shards[*id]
+	fmt.Printf("worker %d/%d: %d private examples of %s/%s\n", *id, *of, shard.Len(), family.Name, d)
+
+	local, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	w, err := transport.Dial(*addr, *id)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	return w.Serve(func(b transport.Broadcast) (transport.Update, error) {
+		state, err := transport.FromWire(b.State)
+		if err != nil {
+			return transport.Update{}, err
+		}
+		if err := nn.LoadStateDict(local.Global(), state); err != nil {
+			return transport.Update{}, err
+		}
+		if _, err := local.LocalTrain(&fl.LocalContext{
+			ClientID: *id, Task: 0, ClientTask: 0, Group: fl.GroupNew,
+			Data: shard, Epochs: *epochs, BatchSize: *batch, LR: *lr,
+			Rng: rand.New(rand.NewSource(*seed ^ int64(1000**id+b.Round))),
+		}); err != nil {
+			return transport.Update{}, err
+		}
+		fmt.Printf("worker %d: finished round %d\n", *id, b.Round)
+		return transport.Update{
+			Weight: float64(shard.Len()),
+			State:  transport.ToWire(nn.StateDict(local.Global())),
+		}, nil
+	})
+}

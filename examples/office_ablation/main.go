@@ -1,0 +1,42 @@
+// Office ablation: reproduces Table VII's component study on the
+// OfficeCaltech10 stand-in — every combination of RefFiL's three components
+// (CDAP, GPL, DPCL) runs under identical federation, and the printed table
+// shows what each contributes over the Finetune-equivalent baseline.
+//
+//	go run ./examples/office_ablation          # smoke scale (~seconds)
+//	go run ./examples/office_ablation -scale mini
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reffil/internal/experiments"
+)
+
+func main() {
+	scaleF := flag.String("scale", "smoke", "run scale (smoke, mini, paper)")
+	seed := flag.Int64("seed", 17, "random seed")
+	flag.Parse()
+	if err := run(*scaleF, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "office_ablation:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleF string, seed int64) error {
+	scale, err := experiments.ParseScale(scaleF)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running the Table VII ablation at %s scale...\n", scale)
+	res, err := experiments.RunTableVII(scale, seed, func(msg string) {
+		fmt.Fprintln(os.Stderr, msg)
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.PrintAblationTable(os.Stdout,
+		fmt.Sprintf("\nTable VII — RefFiL component ablation (OfficeCaltech10, scale %s)", scale), res)
+}

@@ -1,0 +1,184 @@
+// TCP federation: runs the federated loop over a real network transport.
+// A coordinator listens on loopback; three worker processes (goroutines
+// here, but each speaks only gob-over-TCP) hold private shards of one
+// domain, train locally, and upload weighted updates. The coordinator
+// FedAvgs and rebroadcasts. This demonstrates that the state dicts and
+// aggregation used by the in-process engine federate across real
+// connections.
+//
+//	go run ./examples/tcp_federation
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"reffil/internal/baselines"
+	"reffil/internal/data"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/metrics"
+	"reffil/internal/model"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+const (
+	numWorkers = 3
+	rounds     = 3
+	classes    = 7
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcp_federation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		return err
+	}
+	train, test, err := family.Generate("photo", 120, 40, 5)
+	if err != nil {
+		return err
+	}
+	shards, err := data.PartitionQuantityShift(train, numWorkers, 0.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		return err
+	}
+
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Println("coordinator listening on", coord.Addr())
+
+	var wg sync.WaitGroup
+	for id := 0; id < numWorkers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := worker(coord.Addr(), id, shards[id]); err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: %v\n", id, err)
+			}
+		}(id)
+	}
+	if err := coord.Accept(numWorkers, 10*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("%d workers connected, shard sizes:", numWorkers)
+	for _, s := range shards {
+		fmt.Printf(" %d", s.Len())
+	}
+	fmt.Println()
+
+	// The coordinator owns the global model (used only for evaluation and
+	// as the broadcast source).
+	global, err := baselines.NewFinetune(model.DefaultConfig(classes), baselines.DefaultHyper(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	evalAcc := func() (float64, error) {
+		batches, err := data.EvalBatches(test, 20)
+		if err != nil {
+			return 0, err
+		}
+		var pred, labels []int
+		for _, b := range batches {
+			p, err := global.Predict(b.X)
+			if err != nil {
+				return 0, err
+			}
+			pred = append(pred, p...)
+			labels = append(labels, b.Y...)
+		}
+		return metrics.Accuracy(pred, labels)
+	}
+
+	before, err := evalAcc()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accuracy before federation: %.2f%%\n", before*100)
+
+	for r := 0; r < rounds; r++ {
+		updates, err := coord.Round(transport.Broadcast{
+			Round: r,
+			State: transport.ToWire(nn.StateDict(global.Global())),
+		})
+		if err != nil {
+			return err
+		}
+		var dicts []map[string]*tensor.Tensor
+		var weights []float64
+		for _, u := range updates {
+			if u.Skip {
+				continue
+			}
+			d, err := transport.FromWire(u.State)
+			if err != nil {
+				return err
+			}
+			dicts = append(dicts, d)
+			weights = append(weights, u.Weight)
+		}
+		avg, err := fl.WeightedAverage(dicts, weights)
+		if err != nil {
+			return err
+		}
+		if err := nn.LoadStateDict(global.Global(), avg); err != nil {
+			return err
+		}
+		acc, err := evalAcc()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d aggregated %d updates, accuracy %.2f%%\n", r, len(dicts), acc*100)
+	}
+	if _, err := coord.Round(transport.Broadcast{Done: true}); err != nil {
+		return err
+	}
+	wg.Wait()
+	return nil
+}
+
+// worker dials the coordinator and serves training rounds: load broadcast
+// weights, run local epochs on the private shard, reply with the update.
+func worker(addr string, id int, shard *data.Dataset) error {
+	w, err := transport.Dial(addr, id)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	local, err := baselines.NewFinetune(model.DefaultConfig(classes), baselines.DefaultHyper(), rand.New(rand.NewSource(int64(id))))
+	if err != nil {
+		return err
+	}
+	return w.Serve(func(b transport.Broadcast) (transport.Update, error) {
+		state, err := transport.FromWire(b.State)
+		if err != nil {
+			return transport.Update{}, err
+		}
+		if err := nn.LoadStateDict(local.Global(), state); err != nil {
+			return transport.Update{}, err
+		}
+		if _, err := local.LocalTrain(&fl.LocalContext{
+			ClientID: id, Task: 0, ClientTask: 0, Group: fl.GroupNew,
+			Data: shard, Epochs: 2, BatchSize: 8, LR: 0.05,
+			Rng: rand.New(rand.NewSource(int64(100*b.Round + id))),
+		}); err != nil {
+			return transport.Update{}, err
+		}
+		return transport.Update{
+			Weight: float64(shard.Len()),
+			State:  transport.ToWire(nn.StateDict(local.Global())),
+		}, nil
+	})
+}

@@ -1,0 +1,172 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"reffil/internal/tensor"
+)
+
+// Conv2D convolves x (B,C,H,W) with weights w (O,C,kh,kw) and optional bias
+// b (O,), using the given stride and zero padding. The forward pass uses
+// im2col + matmul; the per-sample column matrices are cached for backward.
+func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
+	if x.T.NDim() != 4 || w.T.NDim() != 4 {
+		return nil, fmt.Errorf("autograd: Conv2D wants 4-D x and w, got %v and %v", x.T.Shape(), w.T.Shape())
+	}
+	bs, c, h, wd := x.T.Dim(0), x.T.Dim(1), x.T.Dim(2), x.T.Dim(3)
+	o, cw, kh, kw := w.T.Dim(0), w.T.Dim(1), w.T.Dim(2), w.T.Dim(3)
+	if c != cw {
+		return nil, fmt.Errorf("autograd: Conv2D channel mismatch: x has %d, w has %d", c, cw)
+	}
+	if b != nil && (b.T.NDim() != 1 || b.T.Dim(0) != o) {
+		return nil, fmt.Errorf("autograd: Conv2D bias shape %v, want (%d,)", b.T.Shape(), o)
+	}
+	geom, err := tensor.NewConvGeom(c, h, wd, kh, kw, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	k := c * kh * kw
+	p := geom.OutH * geom.OutW
+	wMat := w.T.Reshape(o, k)
+
+	out := tensor.New(bs, o, geom.OutH, geom.OutW)
+	cols := make([][]float64, bs)
+	imgLen := c * h * wd
+	for i := 0; i < bs; i++ {
+		cols[i] = make([]float64, k*p)
+		geom.Im2col(x.T.Data()[i*imgLen:(i+1)*imgLen], cols[i])
+		colT := tensor.FromSlice(cols[i], k, p)
+		res := tensor.MatMul(wMat, colT)
+		if b != nil {
+			rd := res.Data()
+			for ch := 0; ch < o; ch++ {
+				bv := b.T.Data()[ch]
+				row := rd[ch*p : (ch+1)*p]
+				for j := range row {
+					row[j] += bv
+				}
+			}
+		}
+		copy(out.Data()[i*o*p:(i+1)*o*p], res.Data())
+	}
+
+	node := newNode(out, "conv2d", nil, x, w, b)
+	node.back = func() {
+		if w.requiresGrad {
+			gw := tensor.New(o, k)
+			for i := 0; i < bs; i++ {
+				dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
+				colT := tensor.FromSlice(cols[i], k, p)
+				gw.AddInPlace(tensor.MatMulT2(dOut, colT))
+			}
+			accumulate(w, gw.Reshape(w.T.Shape()...))
+		}
+		if b != nil && b.requiresGrad {
+			gb := tensor.New(o)
+			gd := node.Grad.Data()
+			for i := 0; i < bs; i++ {
+				for ch := 0; ch < o; ch++ {
+					s := 0.0
+					row := gd[(i*o+ch)*p : (i*o+ch+1)*p]
+					for _, v := range row {
+						s += v
+					}
+					gb.Data()[ch] += s
+				}
+			}
+			accumulate(b, gb)
+		}
+		if x.requiresGrad {
+			gx := tensor.New(x.T.Shape()...)
+			for i := 0; i < bs; i++ {
+				dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
+				dCols := tensor.MatMulT1(wMat, dOut) // (k,p)
+				geom.Col2im(dCols.Data(), gx.Data()[i*imgLen:(i+1)*imgLen])
+			}
+			accumulate(x, gx)
+		}
+	}
+	return node, nil
+}
+
+// MaxPool2D applies non-overlapping max pooling with the given square
+// kernel/stride over x (B,C,H,W). H and W must be divisible by size.
+func MaxPool2D(x *Value, size int) (*Value, error) {
+	if x.T.NDim() != 4 {
+		return nil, fmt.Errorf("autograd: MaxPool2D wants 4-D input, got %v", x.T.Shape())
+	}
+	bs, c, h, w := x.T.Dim(0), x.T.Dim(1), x.T.Dim(2), x.T.Dim(3)
+	if h%size != 0 || w%size != 0 {
+		return nil, fmt.Errorf("autograd: MaxPool2D size %d does not divide %dx%d", size, h, w)
+	}
+	oh, ow := h/size, w/size
+	out := tensor.New(bs, c, oh, ow)
+	argmax := make([]int, bs*c*oh*ow)
+	xd := x.T.Data()
+	od := out.Data()
+	for bc := 0; bc < bs*c; bc++ {
+		plane := xd[bc*h*w : (bc+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bestIdx := 0
+				for dy := 0; dy < size; dy++ {
+					for dx := 0; dx < size; dx++ {
+						idx := (oy*size+dy)*w + ox*size + dx
+						if plane[idx] > best {
+							best = plane[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				oi := bc*oh*ow + oy*ow + ox
+				od[oi] = best
+				argmax[oi] = bc*h*w + bestIdx
+			}
+		}
+	}
+	node := newNode(out, "maxpool2d", nil, x)
+	node.back = func() {
+		g := tensor.New(x.T.Shape()...)
+		gd, ng := g.Data(), node.Grad.Data()
+		for oi, src := range argmax {
+			gd[src] += ng[oi]
+		}
+		accumulate(x, g)
+	}
+	return node, nil
+}
+
+// GlobalAvgPool averages x (B,C,H,W) over its spatial dimensions -> (B,C).
+func GlobalAvgPool(x *Value) (*Value, error) {
+	if x.T.NDim() != 4 {
+		return nil, fmt.Errorf("autograd: GlobalAvgPool wants 4-D input, got %v", x.T.Shape())
+	}
+	bs, c, h, w := x.T.Dim(0), x.T.Dim(1), x.T.Dim(2), x.T.Dim(3)
+	hw := h * w
+	out := tensor.New(bs, c)
+	xd := x.T.Data()
+	for bc := 0; bc < bs*c; bc++ {
+		s := 0.0
+		for _, v := range xd[bc*hw : (bc+1)*hw] {
+			s += v
+		}
+		out.Data()[bc] = s / float64(hw)
+	}
+	node := newNode(out, "globalAvgPool", nil, x)
+	node.back = func() {
+		g := tensor.New(x.T.Shape()...)
+		gd, ng := g.Data(), node.Grad.Data()
+		inv := 1 / float64(hw)
+		for bc := 0; bc < bs*c; bc++ {
+			v := ng[bc] * inv
+			plane := gd[bc*hw : (bc+1)*hw]
+			for i := range plane {
+				plane[i] = v
+			}
+		}
+		accumulate(x, g)
+	}
+	return node, nil
+}

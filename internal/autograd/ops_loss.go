@@ -1,0 +1,333 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"reffil/internal/tensor"
+)
+
+// Softmax applies softmax along the last axis as a differentiable op.
+func Softmax(x *Value) *Value {
+	out := tensor.Softmax(x.T)
+	node := newNode(out, "softmax", nil, x)
+	node.back = func() {
+		d := x.T.Dim(x.T.NDim() - 1)
+		rows := x.T.Size() / d
+		g := tensor.New(x.T.Shape()...)
+		od, ng, gd := out.Data(), node.Grad.Data(), g.Data()
+		for r := 0; r < rows; r++ {
+			dot := 0.0
+			for i := 0; i < d; i++ {
+				dot += ng[r*d+i] * od[r*d+i]
+			}
+			for i := 0; i < d; i++ {
+				gd[r*d+i] = od[r*d+i] * (ng[r*d+i] - dot)
+			}
+		}
+		accumulate(x, g)
+	}
+	return node
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between logits (B,K)
+// and integer labels, fused with softmax for numerical stability.
+func SoftmaxCrossEntropy(logits *Value, labels []int) (*Value, error) {
+	if logits.T.NDim() != 2 {
+		return nil, fmt.Errorf("autograd: SoftmaxCrossEntropy wants 2-D logits, got %v", logits.T.Shape())
+	}
+	bs, k := logits.T.Dim(0), logits.T.Dim(1)
+	if len(labels) != bs {
+		return nil, fmt.Errorf("autograd: SoftmaxCrossEntropy has %d labels for batch %d", len(labels), bs)
+	}
+	for _, y := range labels {
+		if y < 0 || y >= k {
+			return nil, fmt.Errorf("autograd: label %d out of range [0,%d)", y, k)
+		}
+	}
+	probs := tensor.Softmax(logits.T)
+	loss := 0.0
+	for i, y := range labels {
+		p := probs.At(i, y)
+		loss -= math.Log(math.Max(p, 1e-300))
+	}
+	loss /= float64(bs)
+	node := newNode(tensor.Scalar(loss), "softmaxCE", nil, logits)
+	node.back = func() {
+		up := node.Grad.Item() / float64(bs)
+		g := probs.Clone()
+		gd := g.Data()
+		for i, y := range labels {
+			gd[i*k+y]--
+		}
+		g.ScaleInPlace(up)
+		accumulate(logits, g)
+	}
+	return node, nil
+}
+
+// DistillLoss is Hinton knowledge distillation: the mean KL divergence
+// between the teacher's and student's temperature-softened distributions,
+// scaled by T². The teacher is a constant.
+func DistillLoss(student *Value, teacher *tensor.Tensor, temperature float64) (*Value, error) {
+	if student.T.NDim() != 2 || !student.T.SameShape(teacher) {
+		return nil, fmt.Errorf("autograd: DistillLoss shapes %v vs %v", student.T.Shape(), teacher.Shape())
+	}
+	if temperature <= 0 {
+		return nil, fmt.Errorf("autograd: DistillLoss temperature must be positive, got %v", temperature)
+	}
+	bs, k := student.T.Dim(0), student.T.Dim(1)
+	p := tensor.Softmax(tensor.Scale(teacher, 1/temperature))
+	q := tensor.Softmax(tensor.Scale(student.T, 1/temperature))
+	loss := 0.0
+	pd, qd := p.Data(), q.Data()
+	for i := range pd {
+		if pd[i] > 0 {
+			loss += pd[i] * (math.Log(pd[i]) - math.Log(math.Max(qd[i], 1e-300)))
+		}
+	}
+	loss = loss / float64(bs) * temperature * temperature
+	node := newNode(tensor.Scalar(loss), "distill", nil, student)
+	node.back = func() {
+		// dL/dz_student = T * (q - p) / B (the T² scale cancels one 1/T
+		// from the softened softmax derivative).
+		up := node.Grad.Item() * temperature / float64(bs)
+		g := tensor.New(bs, k)
+		gd := g.Data()
+		for i := range gd {
+			gd[i] = up * (qd[i] - pd[i])
+		}
+		accumulate(student, g)
+	}
+	return node, nil
+}
+
+// CosineSimToConst computes the cosine similarity matrix between rows of
+// u (B,d) and rows of the constant prompt bank p (N,d) -> (B,N). Gradients
+// flow only into u.
+func CosineSimToConst(u *Value, p *tensor.Tensor) (*Value, error) {
+	if u.T.NDim() != 2 || p.NDim() != 2 || u.T.Dim(1) != p.Dim(1) {
+		return nil, fmt.Errorf("autograd: CosineSimToConst shapes %v vs %v", u.T.Shape(), p.Shape())
+	}
+	const eps = 1e-12
+	bs, d := u.T.Dim(0), u.T.Dim(1)
+	n := p.Dim(0)
+	uNorm := make([]float64, bs)
+	for i := 0; i < bs; i++ {
+		s := 0.0
+		for _, v := range u.T.Data()[i*d : (i+1)*d] {
+			s += v * v
+		}
+		uNorm[i] = math.Max(math.Sqrt(s), eps)
+	}
+	pNorm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for _, v := range p.Data()[j*d : (j+1)*d] {
+			s += v * v
+		}
+		pNorm[j] = math.Max(math.Sqrt(s), eps)
+	}
+	out := tensor.New(bs, n)
+	for i := 0; i < bs; i++ {
+		ui := u.T.Data()[i*d : (i+1)*d]
+		for j := 0; j < n; j++ {
+			pj := p.Data()[j*d : (j+1)*d]
+			dot := 0.0
+			for t := 0; t < d; t++ {
+				dot += ui[t] * pj[t]
+			}
+			out.Set(dot/(uNorm[i]*pNorm[j]), i, j)
+		}
+	}
+	node := newNode(out, "cosineSim", nil, u)
+	node.back = func() {
+		g := tensor.New(bs, d)
+		for i := 0; i < bs; i++ {
+			ui := u.T.Data()[i*d : (i+1)*d]
+			gi := g.Data()[i*d : (i+1)*d]
+			for j := 0; j < n; j++ {
+				gij := node.Grad.At(i, j)
+				if gij == 0 {
+					continue
+				}
+				pj := p.Data()[j*d : (j+1)*d]
+				sij := out.At(i, j)
+				inv := 1 / (uNorm[i] * pNorm[j])
+				invU2 := 1 / (uNorm[i] * uNorm[i])
+				for t := 0; t < d; t++ {
+					gi[t] += gij * (pj[t]*inv - sij*ui[t]*invU2)
+				}
+			}
+		}
+		accumulate(u, g)
+	}
+	return node, nil
+}
+
+// CosineSimPairs computes the row-paired cosine similarity between u (M,d)
+// and the constant v (M,d) -> (M,). Gradients flow only into u. It backs
+// the key-query pull loss of prompt-pool methods (L2P, DualPrompt).
+func CosineSimPairs(u *Value, v *tensor.Tensor) (*Value, error) {
+	if u.T.NDim() != 2 || v.NDim() != 2 || u.T.Dim(0) != v.Dim(0) || u.T.Dim(1) != v.Dim(1) {
+		return nil, fmt.Errorf("autograd: CosineSimPairs shapes %v vs %v", u.T.Shape(), v.Shape())
+	}
+	const eps = 1e-12
+	m, d := u.T.Dim(0), u.T.Dim(1)
+	out := tensor.New(m)
+	uNorm := make([]float64, m)
+	vNorm := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ui := u.T.Data()[i*d : (i+1)*d]
+		vi := v.Data()[i*d : (i+1)*d]
+		su, sv, dot := 0.0, 0.0, 0.0
+		for t := 0; t < d; t++ {
+			su += ui[t] * ui[t]
+			sv += vi[t] * vi[t]
+			dot += ui[t] * vi[t]
+		}
+		uNorm[i] = math.Max(math.Sqrt(su), eps)
+		vNorm[i] = math.Max(math.Sqrt(sv), eps)
+		out.Set(dot/(uNorm[i]*vNorm[i]), i)
+	}
+	node := newNode(out, "cosineSimPairs", nil, u)
+	node.back = func() {
+		g := tensor.New(m, d)
+		for i := 0; i < m; i++ {
+			gi := node.Grad.At(i)
+			if gi == 0 {
+				continue
+			}
+			ui := u.T.Data()[i*d : (i+1)*d]
+			vi := v.Data()[i*d : (i+1)*d]
+			si := out.At(i)
+			inv := 1 / (uNorm[i] * vNorm[i])
+			invU2 := 1 / (uNorm[i] * uNorm[i])
+			row := g.Data()[i*d : (i+1)*d]
+			for t := 0; t < d; t++ {
+				row[t] = gi * (vi[t]*inv - si*ui[t]*invU2)
+			}
+		}
+		accumulate(u, g)
+	}
+	return node, nil
+}
+
+// InfoNCE computes the mean contrastive loss over rows of a similarity
+// matrix sims (B,N) at temperature tau:
+//
+//	loss_i = -log( Σ_{j∈pos_i} exp(s_ij/τ) / Σ_j exp(s_ij/τ) )
+//
+// Rows with an empty positive set are skipped. This generalizes the paper's
+// Eq. 9 to the multi-positive case used by In-between clients.
+func InfoNCE(sims *Value, positives [][]int, tau float64) (*Value, error) {
+	if sims.T.NDim() != 2 {
+		return nil, fmt.Errorf("autograd: InfoNCE wants 2-D sims, got %v", sims.T.Shape())
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("autograd: InfoNCE temperature must be positive, got %v", tau)
+	}
+	bs, n := sims.T.Dim(0), sims.T.Dim(1)
+	if len(positives) != bs {
+		return nil, fmt.Errorf("autograd: InfoNCE has %d positive sets for batch %d", len(positives), bs)
+	}
+	isPos := make([][]bool, bs)
+	active := 0
+	for i, pos := range positives {
+		isPos[i] = make([]bool, n)
+		for _, j := range pos {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("autograd: InfoNCE positive index %d out of range [0,%d)", j, n)
+			}
+			isPos[i][j] = true
+		}
+		if len(pos) > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		// Degenerate batch: contribute zero loss with zero gradient.
+		return Scale(Sum(Mul(sims, NewLeaf(tensor.New(bs, n), false))), 0), nil
+	}
+
+	// softAll[i][j] = softmax over the full row of s/τ,
+	// softPos restricted to the positive subset.
+	softAll := tensor.New(bs, n)
+	softPos := tensor.New(bs, n)
+	loss := 0.0
+	for i := 0; i < bs; i++ {
+		if len(positives[i]) == 0 {
+			continue
+		}
+		row := sims.T.Data()[i*n : (i+1)*n]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v/tau > maxV {
+				maxV = v / tau
+			}
+		}
+		exps := make([]float64, n)
+		denom, num := 0.0, 0.0
+		for j, v := range row {
+			e := math.Exp(v/tau - maxV)
+			exps[j] = e
+			denom += e
+			if isPos[i][j] {
+				num += e
+			}
+		}
+		loss -= math.Log(num / denom)
+		for j := range exps {
+			softAll.Set(exps[j]/denom, i, j)
+			if isPos[i][j] {
+				softPos.Set(exps[j]/num, i, j)
+			}
+		}
+	}
+	loss /= float64(active)
+
+	node := newNode(tensor.Scalar(loss), "infoNCE", nil, sims)
+	node.back = func() {
+		up := node.Grad.Item() / (tau * float64(active))
+		g := tensor.New(bs, n)
+		for i := 0; i < bs; i++ {
+			if len(positives[i]) == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				d := softAll.At(i, j)
+				if isPos[i][j] {
+					d -= softPos.At(i, j)
+				}
+				g.Set(up*d, i, j)
+			}
+		}
+		accumulate(sims, g)
+	}
+	return node, nil
+}
+
+// L2Penalty returns 0.5 * Σ w_i (x_i - ref_i)², the quadratic penalty used
+// by EWC; w and ref are constants of x's shape.
+func L2Penalty(x *Value, w, ref *tensor.Tensor) (*Value, error) {
+	if !x.T.SameShape(w) || !x.T.SameShape(ref) {
+		return nil, fmt.Errorf("autograd: L2Penalty shape mismatch %v/%v/%v", x.T.Shape(), w.Shape(), ref.Shape())
+	}
+	xd, wd, rd := x.T.Data(), w.Data(), ref.Data()
+	loss := 0.0
+	for i := range xd {
+		dv := xd[i] - rd[i]
+		loss += 0.5 * wd[i] * dv * dv
+	}
+	node := newNode(tensor.Scalar(loss), "l2penalty", nil, x)
+	node.back = func() {
+		up := node.Grad.Item()
+		g := tensor.New(x.T.Shape()...)
+		gd := g.Data()
+		for i := range xd {
+			gd[i] = up * wd[i] * (xd[i] - rd[i])
+		}
+		accumulate(x, g)
+	}
+	return node, nil
+}

@@ -1,0 +1,139 @@
+package autograd
+
+import (
+	"fmt"
+
+	"reffil/internal/tensor"
+)
+
+// Reshape returns a view of a with a new shape (sizes must match).
+func Reshape(a *Value, shape ...int) *Value {
+	out := a.T.Clone().Reshape(shape...)
+	node := newNode(out, "reshape", nil, a)
+	node.back = func() {
+		accumulate(a, node.Grad.Reshape(a.T.Shape()...))
+	}
+	return node
+}
+
+// Permute reorders the axes of a.
+func Permute(a *Value, perm ...int) *Value {
+	out := tensor.Permute(a.T, perm...)
+	node := newNode(out, "permute", nil, a)
+	inverse := make([]int, len(perm))
+	for i, p := range perm {
+		inverse[p] = i
+	}
+	node.back = func() {
+		accumulate(a, tensor.Permute(node.Grad, inverse...))
+	}
+	return node
+}
+
+// Transpose swaps the axes of a 2-D value.
+func Transpose(a *Value) *Value { return Permute(a, 1, 0) }
+
+// Concat concatenates values along the given axis.
+func Concat(axis int, vs ...*Value) *Value {
+	ts := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		ts[i] = v.T
+	}
+	out := tensor.Concat(axis, ts...)
+	node := newNode(out, "concat", nil, vs...)
+	node.back = func() {
+		off := 0
+		for _, v := range vs {
+			width := v.T.Dim(axis)
+			if v.requiresGrad {
+				accumulate(v, tensor.Narrow(node.Grad, axis, off, off+width))
+			}
+			off += width
+		}
+	}
+	return node
+}
+
+// Narrow slices a along axis from start (inclusive) to end (exclusive).
+func Narrow(a *Value, axis, start, end int) *Value {
+	out := tensor.Narrow(a.T, axis, start, end)
+	node := newNode(out, "narrow", nil, a)
+	node.back = func() {
+		g := tensor.New(a.T.Shape()...)
+		tensor.NarrowAddInPlace(g, axis, start, node.Grad)
+		accumulate(a, g)
+	}
+	return node
+}
+
+// Stack stacks equally shaped values along a new leading axis.
+func Stack(vs ...*Value) *Value {
+	ts := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		ts[i] = v.T
+	}
+	out := tensor.Stack(ts...)
+	node := newNode(out, "stack", nil, vs...)
+	node.back = func() {
+		for i, v := range vs {
+			if v.requiresGrad {
+				g := tensor.Narrow(node.Grad, 0, i, i+1).Reshape(v.T.Shape()...)
+				accumulate(v, g)
+			}
+		}
+	}
+	return node
+}
+
+// BroadcastBatch tiles a value with leading dimension 1 into b copies along
+// axis 0: (1, ...) -> (b, ...). The backward pass sums gradients over the
+// tiled axis, which is how shared prompts and CLS tokens receive gradient
+// from every batch element.
+func BroadcastBatch(a *Value, b int) *Value {
+	if a.T.NDim() < 1 || a.T.Dim(0) != 1 {
+		panic(fmt.Sprintf("autograd: BroadcastBatch wants leading dim 1, got %v", a.T.Shape()))
+	}
+	shape := a.T.Shape()
+	shape[0] = b
+	out := tensor.New(shape...)
+	per := a.T.Size()
+	for i := 0; i < b; i++ {
+		copy(out.Data()[i*per:(i+1)*per], a.T.Data())
+	}
+	node := newNode(out, "broadcastBatch", nil, a)
+	node.back = func() {
+		g := tensor.New(a.T.Shape()...)
+		gd := g.Data()
+		src := node.Grad.Data()
+		for i := 0; i < b; i++ {
+			for j := 0; j < per; j++ {
+				gd[j] += src[i*per+j]
+			}
+		}
+		accumulate(a, g)
+	}
+	return node
+}
+
+// Embedding gathers rows of table (V,d) at the given ids, producing
+// (len(ids), d). Gradients scatter-add back into the table rows.
+func Embedding(table *Value, ids []int) *Value {
+	d := table.T.Dim(1)
+	out := tensor.New(len(ids), d)
+	for i, id := range ids {
+		copy(out.Data()[i*d:(i+1)*d], table.T.Data()[id*d:(id+1)*d])
+	}
+	node := newNode(out, "embedding", nil, table)
+	node.back = func() {
+		g := tensor.New(table.T.Shape()...)
+		for i, id := range ids {
+			dst := g.Data()[id*d : (id+1)*d]
+			src := node.Grad.Data()[i*d : (i+1)*d]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+		accumulate(table, g)
+	}
+	return node
+}

@@ -1,0 +1,210 @@
+// Package checkpoint persists model state dicts to disk in a compact,
+// versioned binary format, so long federated runs (the paper-scale preset
+// trains for hours on CPU) can be stopped, resumed and shipped between
+// machines. Files are written atomically (temp file + rename).
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+// magic identifies checkpoint files; the trailing digit is the format
+// version.
+var magic = [8]byte{'R', 'F', 'L', 'C', 'K', 'P', 'T', '1'}
+
+const (
+	// maxNameLen bounds serialized tensor names.
+	maxNameLen = 4096
+	// maxDims bounds tensor rank.
+	maxDims = 16
+	// maxElems bounds a single tensor's element count (4M elems = 32 MiB),
+	// protecting Load against corrupt or hostile headers: a flipped dim
+	// byte must never trigger a multi-gigabyte allocation.
+	maxElems = 1 << 22
+)
+
+// Save writes a state dict to w. Entries are sorted by name so the output
+// is deterministic for identical state.
+func Save(w io.Writer, dict map[string]*tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("checkpoint: writing header: %w", err)
+	}
+	names := make([]string, 0, len(dict))
+	for name := range dict {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return fmt.Errorf("checkpoint: writing count: %w", err)
+	}
+	for _, name := range names {
+		if len(name) == 0 || len(name) > maxNameLen {
+			return fmt.Errorf("checkpoint: invalid tensor name length %d", len(name))
+		}
+		t := dict[name]
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		shape := t.Shape()
+		if len(shape) > maxDims {
+			return fmt.Errorf("checkpoint: tensor %q has rank %d > %d", name, len(shape), maxDims)
+		}
+		if err := bw.WriteByte(byte(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, int64(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range t.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flushing: %w", err)
+	}
+	return nil
+}
+
+// Load reads a state dict from r, validating the header and every size
+// field before allocating.
+func Load(r io.Reader) (map[string]*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint, or unsupported version)", got)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading count: %w", err)
+	}
+	// Never pre-size from an untrusted count: a corrupted header must not
+	// translate into a giant allocation. Entries grow the map as they are
+	// actually parsed.
+	hint := int(count)
+	if hint > 1024 {
+		hint = 1024
+	}
+	dict := make(map[string]*tensor.Tensor, hint)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("checkpoint: entry %d name length: %w", i, err)
+		}
+		if nameLen == 0 || int(nameLen) > maxNameLen {
+			return nil, fmt.Errorf("checkpoint: entry %d has invalid name length %d", i, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("checkpoint: entry %d name: %w", i, err)
+		}
+		name := string(nameBuf)
+		if _, dup := dict[name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate entry %q", name)
+		}
+		ndim, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: entry %q rank: %w", name, err)
+		}
+		if int(ndim) > maxDims {
+			return nil, fmt.Errorf("checkpoint: entry %q has rank %d > %d", name, ndim, maxDims)
+		}
+		shape := make([]int, ndim)
+		elems := 1
+		for d := range shape {
+			var dim int64
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return nil, fmt.Errorf("checkpoint: entry %q dim %d: %w", name, d, err)
+			}
+			if dim < 0 || dim > maxElems {
+				return nil, fmt.Errorf("checkpoint: entry %q has invalid dim %d", name, dim)
+			}
+			shape[d] = int(dim)
+			elems *= int(dim)
+			if elems > maxElems {
+				return nil, fmt.Errorf("checkpoint: entry %q exceeds element budget", name)
+			}
+		}
+		t := tensor.New(shape...)
+		buf := t.Data()
+		for j := range buf {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("checkpoint: entry %q data: %w", name, err)
+			}
+			buf[j] = math.Float64frombits(bits)
+		}
+		dict[name] = t
+	}
+	return dict, nil
+}
+
+// SaveFile atomically writes a state dict to path.
+func SaveFile(path string, dict map[string]*tensor.Tensor) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if err = Save(tmp, dict); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a state dict from path.
+func LoadFile(path string) (map[string]*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveModule checkpoints a module's full state (parameters + buffers).
+func SaveModule(path string, m nn.Module) error {
+	return SaveFile(path, nn.StateDict(m))
+}
+
+// LoadModule restores a module's state from a checkpoint; the module's
+// structure must match the file exactly.
+func LoadModule(path string, m nn.Module) error {
+	dict, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	return nn.LoadStateDict(m, dict)
+}

@@ -1,0 +1,217 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reffil/internal/model"
+	"reffil/internal/tensor"
+)
+
+func sampleDict(rng *rand.Rand) map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{
+		"layer.w":  tensor.RandN(rng, 1, 3, 4),
+		"layer.b":  tensor.RandN(rng, 1, 4),
+		"scalarly": tensor.Scalar(math.Pi),
+		"special":  tensor.FromSlice([]float64{0, -0, math.MaxFloat64, -math.SmallestNonzeroFloat64}, 4),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dict := sampleDict(rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, dict); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(dict) {
+		t.Fatalf("entries %d, want %d", len(back), len(dict))
+	}
+	for k, v := range dict {
+		got, ok := back[k]
+		if !ok {
+			t.Fatalf("missing entry %q", k)
+		}
+		if !got.SameShape(v) {
+			t.Fatalf("entry %q shape %v, want %v", k, got.Shape(), v.Shape())
+		}
+		if !got.AllClose(v, 0) {
+			t.Fatalf("entry %q data corrupted", k)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dict := sampleDict(rng)
+	var a, b bytes.Buffer
+	if err := Save(&a, dict); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, dict); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same dict must serialize identically")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTACKPT plus junk"))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleDict(rng)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{4, 8, 12, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes must error", cut)
+		}
+	}
+}
+
+func TestLoadRejectsHostileHeader(t *testing.T) {
+	// Craft a header claiming a gigantic tensor; Load must refuse before
+	// allocating.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{1, 0, 0, 0}) // count = 1
+	buf.Write([]byte{1, 0})       // name length 1
+	buf.WriteByte('x')            // name
+	buf.WriteByte(2)              // rank 2
+	for i := 0; i < 2; i++ {      // dims: 2^40 each
+		buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("hostile dims must be rejected")
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	rng := rand.New(rand.NewSource(4))
+	dict := sampleDict(rng)
+	if err := SaveFile(path, dict); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back["layer.w"].AllClose(dict["layer.w"], 0) {
+		t.Fatal("file round trip corrupted data")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestSaveLoadModuleRestoresPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src, err := model.New(model.DefaultConfig(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "backbone.ckpt")
+	if err := SaveModule(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := model.New(model.DefaultConfig(5), rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadModule(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandN(rng, 1, 2, 3, 16, 16)
+	p1, err := src.Predict(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := dst.Predict(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("checkpoint round trip changed predictions")
+		}
+	}
+}
+
+func TestLoadModuleStructureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src, err := model.New(model.DefaultConfig(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "backbone.ckpt")
+	if err := SaveModule(path, src); err != nil {
+		t.Fatal(err)
+	}
+	// A backbone with a different class count must refuse the checkpoint.
+	other, err := model.New(model.DefaultConfig(7), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadModule(path, other); err == nil {
+		t.Fatal("structure mismatch must error")
+	}
+}
+
+func TestEmptyDictRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty dict round trip has %d entries", len(back))
+	}
+}
+
+func TestDuplicateEntryRejected(t *testing.T) {
+	// Hand-craft a stream with a duplicated name.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{2, 0, 0, 0}) // count = 2
+	for i := 0; i < 2; i++ {
+		buf.Write([]byte{1, 0}) // name len 1
+		buf.WriteByte('x')
+		buf.WriteByte(0) // rank 0 (scalar)
+		buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("duplicate entries must error")
+	}
+}

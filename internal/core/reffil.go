@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reffil/internal/autograd"
+	"reffil/internal/data"
+	"reffil/internal/fl"
+	"reffil/internal/model"
+	"reffil/internal/nn"
+	"reffil/internal/opt"
+	"reffil/internal/tensor"
+)
+
+// Config parameterizes RefFiL.
+type Config struct {
+	// Model sizes the shared backbone.
+	Model model.Config
+	// PromptLen is p, the number of generated prompt tokens.
+	PromptLen int
+	// GenHidden is the CDAP MLP hidden width.
+	GenHidden int
+	// KeyDim is the task-key embedding width.
+	KeyDim int
+	// MaxTasks bounds the task-key table.
+	MaxTasks int
+	// MaxPromptsPerClass is N, the representative budget per class after
+	// FINCH clustering (Eq. 8).
+	MaxPromptsPerClass int
+
+	// Tau, TauMin, Gamma, Beta parameterize the temperature decay of
+	// Eq. 10 (paper defaults: 0.9, 0.3, 0.1, 0.05).
+	Tau, TauMin, Gamma, Beta float64
+	// UseTemperatureDecay disables Eq. 10 when false (Table VIII "w/o τ′"),
+	// using Tau directly.
+	UseTemperatureDecay bool
+
+	// EnableCDAP, EnableGPL and EnableDPCL switch the framework's three
+	// components for the Table VII ablation. All three on is full RefFiL;
+	// all off degenerates to federated finetuning.
+	EnableCDAP, EnableGPL, EnableDPCL bool
+
+	// DisableClustering replaces the server's Eq. 7–8 FINCH clustering
+	// with plain per-class averaging of uploaded prompts — the design
+	// ablation of §IV's "Global Prompts Clustering" motivation.
+	DisableClustering bool
+
+	// Momentum, WeightDecay and ClipNorm parameterize local SGD.
+	Momentum, WeightDecay, ClipNorm float64
+}
+
+// DefaultConfig returns the paper-default RefFiL configuration at mini
+// model scale for `classes` classes and up to maxTasks tasks.
+func DefaultConfig(classes, maxTasks int) Config {
+	return Config{
+		Model:               model.DefaultConfig(classes),
+		PromptLen:           4,
+		GenHidden:           16,
+		KeyDim:              8,
+		MaxTasks:            maxTasks,
+		MaxPromptsPerClass:  3,
+		Tau:                 0.9,
+		TauMin:              0.3,
+		Gamma:               0.1,
+		Beta:                0.05,
+		UseTemperatureDecay: true,
+		EnableCDAP:          true,
+		EnableGPL:           true,
+		EnableDPCL:          true,
+		Momentum:            0.9,
+		WeightDecay:         1e-4,
+		ClipNorm:            5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.EnableCDAP && (c.PromptLen <= 0 || c.GenHidden <= 0 || c.KeyDim <= 0 || c.MaxTasks <= 0) {
+		return fmt.Errorf("core: CDAP dimensions must be positive: %+v", c)
+	}
+	if (c.EnableGPL || c.EnableDPCL) && c.MaxPromptsPerClass <= 0 {
+		return fmt.Errorf("core: MaxPromptsPerClass must be positive when prompts are shared")
+	}
+	if c.EnableDPCL {
+		if _, err := DecayedTemperature(c.Tau, c.TauMin, c.Gamma, c.Beta, 1); err != nil {
+			return err
+		}
+	}
+	if c.ClipNorm < 0 {
+		return fmt.Errorf("core: ClipNorm must be non-negative, got %v", c.ClipNorm)
+	}
+	return nil
+}
+
+// sharesPrompts reports whether clients upload prompt groups and the server
+// maintains the global bank.
+func (c Config) sharesPrompts() bool { return c.EnableGPL || c.EnableDPCL }
+
+// RefFiL implements fl.Algorithm: the full framework of Algorithm 1.
+type RefFiL struct {
+	cfg      Config
+	backbone *model.Backbone
+	gen      *CDAP // nil when CDAP is disabled
+	bank     *PromptBank
+	// curTask is the current 0-based incremental stage.
+	curTask int
+}
+
+// New builds RefFiL with the given configuration.
+func New(cfg Config, rng *rand.Rand) (*RefFiL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	backbone, err := model.New(cfg.Model, rng)
+	if err != nil {
+		return nil, err
+	}
+	r := &RefFiL{
+		cfg:      cfg,
+		backbone: backbone,
+		bank:     NewPromptBank(cfg.Model.TokenDim),
+	}
+	if cfg.EnableCDAP {
+		gen, err := NewCDAP("cdap", rng, backbone.NumPatches+1, cfg.Model.TokenDim,
+			cfg.PromptLen, cfg.GenHidden, cfg.KeyDim, cfg.MaxTasks)
+		if err != nil {
+			return nil, err
+		}
+		r.gen = gen
+	}
+	return r, nil
+}
+
+// Name implements fl.Algorithm.
+func (r *RefFiL) Name() string {
+	switch {
+	case r.cfg.EnableCDAP && r.cfg.EnableGPL && r.cfg.EnableDPCL:
+		return "RefFiL"
+	case !r.cfg.EnableCDAP && !r.cfg.EnableGPL && !r.cfg.EnableDPCL:
+		return "RefFiL(none)"
+	default:
+		return fmt.Sprintf("RefFiL(cdap=%v,gpl=%v,dpcl=%v)", r.cfg.EnableCDAP, r.cfg.EnableGPL, r.cfg.EnableDPCL)
+	}
+}
+
+// Global implements fl.Algorithm: the backbone plus (when enabled) the CDAP
+// generator — including its globally transferable CCDA layer — are
+// aggregated by FedAvg.
+func (r *RefFiL) Global() nn.Module {
+	if r.gen != nil {
+		return nn.Modules{r.backbone, r.gen}
+	}
+	return r.backbone
+}
+
+// Bank exposes the server's clustered global prompts (for tests and tools).
+func (r *RefFiL) Bank() *PromptBank { return r.bank }
+
+// OnTaskStart implements fl.Algorithm.
+func (r *RefFiL) OnTaskStart(task int) error {
+	if r.gen != nil && task >= r.cfg.MaxTasks {
+		return fmt.Errorf("core: task %d exceeds key table capacity %d", task, r.cfg.MaxTasks)
+	}
+	r.curTask = task
+	return nil
+}
+
+// OnTaskEnd implements fl.Algorithm.
+func (r *RefFiL) OnTaskEnd(task int, sample *data.Dataset) error { return nil }
+
+// promptVectors returns the per-sample d-dimensional prompt vectors u_i
+// used for uploads and DPCL: the mean of the generated prompt tokens when
+// CDAP is on, otherwise the mean of the token sequence (a prototype in the
+// FPL sense), plus the prompt token matrix itself when CDAP is enabled.
+func (r *RefFiL) promptVectors(tokens *autograd.Value, taskIDs []int) (u, localPrompts *autograd.Value, err error) {
+	if r.gen != nil {
+		p, err := r.gen.Generate(tokens, taskIDs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return autograd.MeanAxis(p, 1), p, nil
+	}
+	return autograd.MeanAxis(tokens, 1), nil, nil
+}
+
+// LocalTrain implements fl.Algorithm: Algorithm 1's participant side.
+func (r *RefFiL) LocalTrain(ctx *fl.LocalContext) (fl.Upload, error) {
+	params := r.Global().Params()
+	sgd, err := opt.NewSGD(params, ctx.LR, r.cfg.Momentum, r.cfg.WeightDecay)
+	if err != nil {
+		return nil, err
+	}
+	tau := r.cfg.Tau
+	if r.cfg.UseTemperatureDecay {
+		tau, err = DecayedTemperature(r.cfg.Tau, r.cfg.TauMin, r.cfg.Gamma, r.cfg.Beta, r.curTask+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	numPos := 1
+	if ctx.Group == fl.GroupInBetween {
+		numPos = 2
+	}
+
+	var (
+		bankFlat  *tensor.Tensor
+		bankClass []int
+		meanG     *tensor.Tensor
+	)
+	if r.cfg.sharesPrompts() && !r.bank.Empty() {
+		bankFlat, bankClass = r.bank.Flatten()
+		meanG = r.bank.MeanPerClass()
+	}
+
+	var acc *lpgAccumulator
+	if r.cfg.sharesPrompts() {
+		acc = newLPGAccumulator(r.cfg.Model.TokenDim)
+	}
+
+	nnCtx := &nn.Ctx{Train: true}
+	for epoch := 0; epoch < ctx.Epochs; epoch++ {
+		lastEpoch := epoch == ctx.Epochs-1
+		batches, err := data.Batches(ctx.Data, ctx.BatchSize, ctx.Rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			sgd.ZeroGrad()
+			tokens, err := r.backbone.Tokens(nnCtx, autograd.Constant(b.X))
+			if err != nil {
+				return nil, err
+			}
+			u, localPrompts, err := r.promptVectors(tokens, b.Task)
+			if err != nil {
+				return nil, err
+			}
+			// L_CE (Eq. 13): classify with local prompts.
+			seqL, err := r.backbone.WithPrompts(tokens, localPrompts)
+			if err != nil {
+				return nil, err
+			}
+			logitsL, err := r.backbone.Head(seqL)
+			if err != nil {
+				return nil, err
+			}
+			loss, err := autograd.SoftmaxCrossEntropy(logitsL, b.Y)
+			if err != nil {
+				return nil, err
+			}
+			// L_GPL (Eq. 12): classify with the generalized global prompt.
+			if r.cfg.EnableGPL && meanG != nil {
+				gp := autograd.BroadcastBatch(
+					autograd.Constant(meanG.Reshape(1, meanG.Dim(0), meanG.Dim(1))), b.X.Dim(0))
+				seqG, err := r.backbone.WithPrompts(tokens, gp)
+				if err != nil {
+					return nil, err
+				}
+				logitsG, err := r.backbone.Head(seqG)
+				if err != nil {
+					return nil, err
+				}
+				gpl, err := autograd.SoftmaxCrossEntropy(logitsG, b.Y)
+				if err != nil {
+					return nil, err
+				}
+				loss = autograd.Add(loss, gpl)
+			}
+			// L_DPCL (Eq. 9): contrast generated prompts against the bank.
+			if r.cfg.EnableDPCL && bankFlat != nil {
+				sims, err := autograd.CosineSimToConst(u, bankFlat)
+				if err != nil {
+					return nil, err
+				}
+				positives := make([][]int, len(b.Y))
+				d := r.cfg.Model.TokenDim
+				for i, y := range b.Y {
+					ui := u.T.Data()[i*d : (i+1)*d]
+					positives[i] = selectPositives(ui, bankFlat, bankClass, y, numPos)
+				}
+				dpcl, err := autograd.InfoNCE(sims, positives, tau)
+				if err != nil {
+					return nil, err
+				}
+				loss = autograd.Add(loss, dpcl)
+			}
+			if err := autograd.Backward(loss); err != nil {
+				return nil, err
+			}
+			if r.cfg.ClipNorm > 0 {
+				opt.ClipGradNorm(params, r.cfg.ClipNorm)
+			}
+			sgd.Step()
+			// Algorithm 1 lines 26–27: collect prompts in the final epoch.
+			if lastEpoch && acc != nil {
+				d := r.cfg.Model.TokenDim
+				for i, y := range b.Y {
+					acc.add(y, u.T.Data()[i*d:(i+1)*d])
+				}
+			}
+		}
+	}
+	if acc == nil {
+		return nil, nil
+	}
+	return acc.finish(), nil
+}
+
+// ServerRound implements fl.Algorithm: global prompt clustering (Eq. 7–8).
+func (r *RefFiL) ServerRound(task, round int, uploads []fl.Upload) error {
+	if !r.cfg.sharesPrompts() || len(uploads) == 0 {
+		return nil
+	}
+	groups := make([]*PromptUpload, 0, len(uploads))
+	for _, up := range uploads {
+		pu, ok := up.(*PromptUpload)
+		if !ok {
+			return fmt.Errorf("core: unexpected upload type %T", up)
+		}
+		groups = append(groups, pu)
+	}
+	if r.cfg.DisableClustering {
+		return r.bank.UpdateNoClustering(groups)
+	}
+	return r.bank.Update(groups, r.cfg.MaxPromptsPerClass)
+}
+
+// Predict implements fl.Algorithm. The task ID is training-only (paper
+// §IV), so inference conditions the generator on the mean of all task keys
+// seen so far; without CDAP the plain token sequence is classified.
+func (r *RefFiL) Predict(x *tensor.Tensor) ([]int, error) {
+	nnCtx := &nn.Ctx{Train: false}
+	tokens, err := r.backbone.Tokens(nnCtx, autograd.Constant(x))
+	if err != nil {
+		return nil, err
+	}
+	var prompts *autograd.Value
+	if r.gen != nil {
+		key, err := r.gen.InferenceKey(r.curTask + 1)
+		if err != nil {
+			return nil, err
+		}
+		prompts, err = r.gen.GenerateWithKey(tokens, key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	seq, err := r.backbone.WithPrompts(tokens, prompts)
+	if err != nil {
+		return nil, err
+	}
+	logits, err := r.backbone.Head(seq)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgmaxRows(logits.T), nil
+}
+
+var _ fl.Algorithm = (*RefFiL)(nil)

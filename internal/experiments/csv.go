@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteResultsCSV flattens any label -> Result map into CSV rows with a
+// header, for downstream plotting. Labels are emitted in sorted order.
+func WriteResultsCSV(w io.Writer, results map[string]Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"label", "method", "dataset", "avg", "last", "fgt", "bwt", "task_accuracies"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	labels := make([]string, 0, len(results))
+	for l := range results {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		r := results[l]
+		tasks := ""
+		for i, a := range r.Summary.TaskAcc {
+			if i > 0 {
+				tasks += ";"
+			}
+			tasks += strconv.FormatFloat(a, 'f', 4, 64)
+		}
+		row := []string{
+			l,
+			r.Method,
+			r.Dataset,
+			strconv.FormatFloat(r.Summary.Avg, 'f', 4, 64),
+			strconv.FormatFloat(r.Summary.Last, 'f', 4, 64),
+			strconv.FormatFloat(r.Summary.FGT, 'f', 4, 64),
+			strconv.FormatFloat(r.Summary.BwT, 'f', 4, 64),
+			tasks,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV row %q: %w", l, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FlattenComparison converts a MainComparison into the label->Result form
+// WriteResultsCSV consumes, with labels "dataset/method".
+func FlattenComparison(res MainComparison) map[string]Result {
+	out := make(map[string]Result)
+	for ds, byMethod := range res {
+		for m, r := range byMethod {
+			out[ds+"/"+m] = r
+		}
+	}
+	return out
+}

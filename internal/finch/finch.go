@@ -1,0 +1,224 @@
+// Package finch implements the FINCH parameter-free clustering algorithm
+// (Sarfraz et al., CVPR 2019) used by the RefFiL server to group client
+// prompts domain-wise before selecting representatives (paper Eq. 7–8).
+//
+// FINCH links every sample to its first nearest neighbour under cosine
+// similarity; the connected components of the resulting adjacency graph
+// (A(i,j)=1 iff j=c_i or i=c_j or c_i=c_j) form the first partition.
+// Averaging each cluster and recursing yields a hierarchy of successively
+// coarser partitions, all without any tunable parameter.
+package finch
+
+import (
+	"fmt"
+	"math"
+
+	"reffil/internal/tensor"
+)
+
+// Partition is one level of the FINCH hierarchy.
+type Partition struct {
+	// Labels assigns each input row a cluster id in [0, NumClusters).
+	Labels []int
+	// NumClusters is the number of distinct clusters at this level.
+	NumClusters int
+}
+
+// Cluster runs FINCH on the rows of x (N,d) and returns the hierarchy from
+// finest to coarsest. The final partition always has a single cluster (or
+// the recursion's fixed point if merging stalls).
+func Cluster(x *tensor.Tensor) ([]Partition, error) {
+	if x.NDim() != 2 {
+		return nil, fmt.Errorf("finch: want 2-D data, got %v", x.Shape())
+	}
+	n := x.Dim(0)
+	if n == 0 {
+		return nil, fmt.Errorf("finch: no samples")
+	}
+	if n == 1 {
+		return []Partition{{Labels: []int{0}, NumClusters: 1}}, nil
+	}
+
+	var hierarchy []Partition
+	points := x
+	// mapping[i] = cluster id of original row i at the current level.
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = i
+	}
+	for {
+		labels, k := firstNeighborPartition(points)
+		// Compose with the running mapping to express the partition in
+		// terms of original rows.
+		composed := make([]int, n)
+		for i := range composed {
+			composed[i] = labels[mapping[i]]
+		}
+		hierarchy = append(hierarchy, Partition{Labels: composed, NumClusters: k})
+		if k <= 1 || k == points.Dim(0) {
+			break
+		}
+		points = clusterMeans(points, labels, k)
+		mapping = composed
+	}
+	return hierarchy, nil
+}
+
+// firstNeighborPartition links each row to its cosine first neighbour and
+// returns the connected-component labels.
+func firstNeighborPartition(x *tensor.Tensor) ([]int, int) {
+	n, d := x.Dim(0), x.Dim(1)
+	// Pre-normalize rows so cosine similarity is a dot product.
+	norm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*d : (i+1)*d]
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		norm[i] = math.Max(math.Sqrt(s), 1e-12)
+	}
+	nearest := make([]int, n)
+	for i := 0; i < n; i++ {
+		ri := x.Data()[i*d : (i+1)*d]
+		best := math.Inf(-1)
+		bestJ := i
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			rj := x.Data()[j*d : (j+1)*d]
+			dot := 0.0
+			for t := 0; t < d; t++ {
+				dot += ri[t] * rj[t]
+			}
+			sim := dot / (norm[i] * norm[j])
+			if sim > best {
+				best = sim
+				bestJ = j
+			}
+		}
+		nearest[i] = bestJ
+	}
+	// Union-find over the adjacency: i~c_i links cover all three clauses of
+	// Eq. 7 (j=c_i, i=c_j, and c_i=c_j both link through the shared
+	// neighbour).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i, c := range nearest {
+		union(i, c)
+	}
+	// Compact labels.
+	labelOf := make(map[int]int)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		id, ok := labelOf[r]
+		if !ok {
+			id = len(labelOf)
+			labelOf[r] = id
+		}
+		labels[i] = id
+	}
+	return labels, len(labelOf)
+}
+
+// clusterMeans averages the rows of each cluster.
+func clusterMeans(x *tensor.Tensor, labels []int, k int) *tensor.Tensor {
+	d := x.Dim(1)
+	out := tensor.New(k, d)
+	counts := make([]int, k)
+	for i, l := range labels {
+		dst := out.Data()[l*d : (l+1)*d]
+		src := x.Data()[i*d : (i+1)*d]
+		for t, v := range src {
+			dst[t] += v
+		}
+		counts[l]++
+	}
+	for l := 0; l < k; l++ {
+		inv := 1 / float64(counts[l])
+		row := out.Data()[l*d : (l+1)*d]
+		for t := range row {
+			row[t] *= inv
+		}
+	}
+	return out
+}
+
+// Representatives picks, for each cluster of the partition, the medoid: the
+// member with the highest mean cosine similarity to its cluster peers
+// (falling back to the sole member for singletons). It returns the selected
+// row indices ordered by cluster id.
+func Representatives(x *tensor.Tensor, p Partition) ([]int, error) {
+	if x.NDim() != 2 || len(p.Labels) != x.Dim(0) {
+		return nil, fmt.Errorf("finch: partition over %d labels for %v data", len(p.Labels), x.Shape())
+	}
+	members := make([][]int, p.NumClusters)
+	for i, l := range p.Labels {
+		if l < 0 || l >= p.NumClusters {
+			return nil, fmt.Errorf("finch: label %d out of range [0,%d)", l, p.NumClusters)
+		}
+		members[l] = append(members[l], i)
+	}
+	d := x.Dim(1)
+	reps := make([]int, p.NumClusters)
+	for l, ms := range members {
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("finch: cluster %d is empty", l)
+		}
+		if len(ms) == 1 {
+			reps[l] = ms[0]
+			continue
+		}
+		best := math.Inf(-1)
+		bestI := ms[0]
+		for _, i := range ms {
+			ri := tensor.FromSlice(x.Data()[i*d:(i+1)*d], d)
+			s := 0.0
+			for _, j := range ms {
+				if i == j {
+					continue
+				}
+				rj := tensor.FromSlice(x.Data()[j*d:(j+1)*d], d)
+				s += tensor.CosineSimilarity(ri, rj)
+			}
+			s /= float64(len(ms) - 1)
+			if s > best {
+				best = s
+				bestI = i
+			}
+		}
+		reps[l] = bestI
+	}
+	return reps, nil
+}
+
+// PartitionWithAtMost returns the finest partition in the hierarchy whose
+// cluster count does not exceed maxClusters, or the coarsest one when all
+// levels exceed it. RefFiL's server uses this to bound the number of
+// representative prompts broadcast per class.
+func PartitionWithAtMost(hierarchy []Partition, maxClusters int) Partition {
+	for _, p := range hierarchy {
+		if p.NumClusters <= maxClusters {
+			return p
+		}
+	}
+	return hierarchy[len(hierarchy)-1]
+}

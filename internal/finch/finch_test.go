@@ -1,0 +1,254 @@
+package finch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reffil/internal/tensor"
+)
+
+// twoBlobs builds n points split between two well-separated directions.
+func twoBlobs(rng *rand.Rand, nPer, d int) (*tensor.Tensor, []int) {
+	x := tensor.New(2*nPer, d)
+	truth := make([]int, 2*nPer)
+	for i := 0; i < 2*nPer; i++ {
+		blob := i / nPer
+		truth[i] = blob
+		row := x.Data()[i*d : (i+1)*d]
+		for t := range row {
+			row[t] = rng.NormFloat64() * 0.05
+		}
+		// Blob 0 points along +e0, blob 1 along +e1.
+		row[blob] += 1.0
+	}
+	return x, truth
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(tensor.New(0, 3)); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := Cluster(tensor.New(3)); err == nil {
+		t.Fatal("1-D input must error")
+	}
+}
+
+func TestClusterSingleSample(t *testing.T) {
+	h, err := Cluster(tensor.Ones(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || h[0].NumClusters != 1 {
+		t.Fatalf("single sample should yield one singleton partition, got %+v", h)
+	}
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, truth := twoBlobs(rng, 8, 4)
+	h, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some level of the hierarchy must have exactly 2 clusters matching
+	// the ground-truth split.
+	found := false
+	for _, p := range h {
+		if p.NumClusters != 2 {
+			continue
+		}
+		found = true
+		// All members of a true blob must share a label.
+		for i := 1; i < len(truth); i++ {
+			sameTruth := truth[i] == truth[0]
+			sameLabel := p.Labels[i] == p.Labels[0]
+			if sameTruth != sameLabel {
+				t.Fatalf("2-cluster level does not match ground truth at %d", i)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hierarchy never produced a 2-cluster level")
+	}
+}
+
+func TestHierarchyIsCoarsening(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 1, 20, 5)
+	h, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].NumClusters >= h[i-1].NumClusters {
+			t.Fatalf("level %d has %d clusters, previous had %d: not strictly coarsening",
+				i, h[i].NumClusters, h[i-1].NumClusters)
+		}
+		// Refinement property: two points sharing a label at level i-1
+		// must share a label at level i.
+		for a := 0; a < 20; a++ {
+			for b := a + 1; b < 20; b++ {
+				if h[i-1].Labels[a] == h[i-1].Labels[b] && h[i].Labels[a] != h[i].Labels[b] {
+					t.Fatalf("level %d splits a cluster from level %d", i, i-1)
+				}
+			}
+		}
+	}
+	last := h[len(h)-1]
+	if last.NumClusters != 1 {
+		t.Fatalf("final level has %d clusters, want 1", last.NumClusters)
+	}
+}
+
+func TestLabelsAreCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 1, 15, 4)
+	h, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range h {
+		seen := make(map[int]bool)
+		for _, l := range p.Labels {
+			if l < 0 || l >= p.NumClusters {
+				t.Fatalf("label %d out of range [0,%d)", l, p.NumClusters)
+			}
+			seen[l] = true
+		}
+		if len(seen) != p.NumClusters {
+			t.Fatalf("partition claims %d clusters but uses %d labels", p.NumClusters, len(seen))
+		}
+	}
+}
+
+func TestClusterIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandN(rng, 1, 12, 6)
+	h1, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Cluster(x.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != len(h2) {
+		t.Fatal("non-deterministic hierarchy depth")
+	}
+	for lvl := range h1 {
+		for i := range h1[lvl].Labels {
+			if h1[lvl].Labels[i] != h2[lvl].Labels[i] {
+				t.Fatal("non-deterministic labels")
+			}
+		}
+	}
+}
+
+func TestRepresentativesMedoid(t *testing.T) {
+	// Three nearly colinear points plus an outlier direction: the medoid
+	// of the 3-cluster must be the central one.
+	x := tensor.FromSlice([]float64{
+		1, 0,
+		0.95, 0.05,
+		0.9, 0.1,
+		0, 1,
+	}, 4, 2)
+	p := Partition{Labels: []int{0, 0, 0, 1}, NumClusters: 2}
+	reps, err := Representatives(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0] != 1 {
+		t.Fatalf("medoid of cluster 0 = %d, want 1 (central point)", reps[0])
+	}
+	if reps[1] != 3 {
+		t.Fatalf("singleton representative = %d, want 3", reps[1])
+	}
+}
+
+func TestRepresentativesValidation(t *testing.T) {
+	x := tensor.Ones(2, 2)
+	if _, err := Representatives(x, Partition{Labels: []int{0}, NumClusters: 1}); err == nil {
+		t.Fatal("label/data mismatch must error")
+	}
+	if _, err := Representatives(x, Partition{Labels: []int{0, 5}, NumClusters: 2}); err == nil {
+		t.Fatal("out-of-range label must error")
+	}
+	if _, err := Representatives(x, Partition{Labels: []int{0, 0}, NumClusters: 2}); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+}
+
+func TestPartitionWithAtMost(t *testing.T) {
+	h := []Partition{
+		{Labels: []int{0, 1, 2}, NumClusters: 3},
+		{Labels: []int{0, 0, 1}, NumClusters: 2},
+		{Labels: []int{0, 0, 0}, NumClusters: 1},
+	}
+	if got := PartitionWithAtMost(h, 5); got.NumClusters != 3 {
+		t.Fatalf("maxClusters=5 picked %d clusters, want 3", got.NumClusters)
+	}
+	if got := PartitionWithAtMost(h, 2); got.NumClusters != 2 {
+		t.Fatalf("maxClusters=2 picked %d clusters, want 2", got.NumClusters)
+	}
+	if got := PartitionWithAtMost(h, 0); got.NumClusters != 1 {
+		t.Fatalf("maxClusters=0 picked %d clusters, want coarsest", got.NumClusters)
+	}
+}
+
+func TestClusterHandlesDuplicatePoints(t *testing.T) {
+	// Identical points must cluster together without dividing by zero.
+	x := tensor.New(4, 3)
+	for i := 0; i < 4; i++ {
+		x.Set(1, i, 0)
+	}
+	h, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := h[0]
+	for _, l := range first.Labels {
+		if l != first.Labels[0] {
+			t.Fatal("identical points must share a cluster")
+		}
+	}
+}
+
+func TestFirstNeighborSymmetricPair(t *testing.T) {
+	// Two mutually-nearest pairs far apart -> exactly 2 clusters at level 0.
+	x := tensor.FromSlice([]float64{
+		1, 0,
+		0.99, 0.01,
+		-1, 0,
+		-0.99, -0.01,
+	}, 4, 2)
+	h, err := Cluster(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0].NumClusters != 2 {
+		t.Fatalf("level-0 clusters = %d, want 2", h[0].NumClusters)
+	}
+	if h[0].Labels[0] != h[0].Labels[1] || h[0].Labels[2] != h[0].Labels[3] {
+		t.Fatal("mutual nearest neighbours must be grouped")
+	}
+	if h[0].Labels[0] == h[0].Labels[2] {
+		t.Fatal("opposite pairs must be separated")
+	}
+}
+
+func TestClusterMeansCentroid(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		0, 0,
+		2, 2,
+		10, 10,
+	}, 3, 2)
+	means := clusterMeans(x, []int{0, 0, 1}, 2)
+	if math.Abs(means.At(0, 0)-1) > 1e-12 || math.Abs(means.At(0, 1)-1) > 1e-12 {
+		t.Fatalf("cluster 0 mean = (%v,%v), want (1,1)", means.At(0, 0), means.At(0, 1))
+	}
+	if math.Abs(means.At(1, 0)-10) > 1e-12 {
+		t.Fatalf("cluster 1 mean = %v, want 10", means.At(1, 0))
+	}
+}

@@ -1,0 +1,83 @@
+package finch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reffil/internal/tensor"
+)
+
+// Property: for any random data, every hierarchy level is a valid partition
+// (compact labels, correct counts) and the levels strictly coarsen.
+func TestQuickHierarchyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		d := 1 + r.Intn(6)
+		x := tensor.RandN(r, 1, n, d)
+		h, err := Cluster(x)
+		if err != nil || len(h) == 0 {
+			return false
+		}
+		prev := n + 1
+		for _, p := range h {
+			if len(p.Labels) != n {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, l := range p.Labels {
+				if l < 0 || l >= p.NumClusters {
+					return false
+				}
+				seen[l] = true
+			}
+			if len(seen) != p.NumClusters {
+				return false
+			}
+			if p.NumClusters >= prev {
+				return false
+			}
+			prev = p.NumClusters
+		}
+		return h[len(h)-1].NumClusters == 1
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: representatives are always members of their own cluster.
+func TestQuickRepresentativesAreMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		x := tensor.RandN(r, 1, n, 4)
+		h, err := Cluster(x)
+		if err != nil {
+			return false
+		}
+		for _, p := range h {
+			reps, err := Representatives(x, p)
+			if err != nil {
+				return false
+			}
+			if len(reps) != p.NumClusters {
+				return false
+			}
+			for cluster, rep := range reps {
+				if rep < 0 || rep >= n || p.Labels[rep] != cluster {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

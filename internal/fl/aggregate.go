@@ -1,0 +1,57 @@
+// Package fl implements the federated domain-incremental learning runtime
+// of the paper: FedAvg aggregation weighted by local dataset size
+// (Algorithm 1 line 8), random participant selection per communication
+// round, and the Old / In-between / New client-increment strategy of
+// §II ("Client increment strategy").
+//
+// The runtime is algorithm-agnostic: RefFiL and every baseline plug in
+// through the Algorithm interface, so all methods run under byte-identical
+// federation mechanics — the comparison the paper's tables rely on.
+package fl
+
+import (
+	"fmt"
+
+	"reffil/internal/tensor"
+)
+
+// WeightedAverage computes the FedAvg aggregate of client state dicts:
+// sum_m (w_m / sum w) * dict_m, entry-wise. All dicts must share the same
+// keys and shapes; weights must be positive.
+func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[string]*tensor.Tensor, error) {
+	if len(dicts) == 0 {
+		return nil, fmt.Errorf("fl: no client updates to aggregate")
+	}
+	if len(dicts) != len(weights) {
+		return nil, fmt.Errorf("fl: %d dicts but %d weights", len(dicts), len(weights))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("fl: non-positive aggregation weight %v for client %d", w, i)
+		}
+		total += w
+	}
+	out := make(map[string]*tensor.Tensor, len(dicts[0]))
+	for name, first := range dicts[0] {
+		acc := tensor.New(first.Shape()...)
+		for i, d := range dicts {
+			src, ok := d[name]
+			if !ok {
+				return nil, fmt.Errorf("fl: client %d update missing entry %q", i, name)
+			}
+			if src.Size() != acc.Size() {
+				return nil, fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), acc.Size())
+			}
+			acc.AddScaledInPlace(weights[i]/total, src)
+		}
+		out[name] = acc
+	}
+	// Reject dicts with extra keys relative to the first.
+	for i, d := range dicts[1:] {
+		if len(d) != len(dicts[0]) {
+			return nil, fmt.Errorf("fl: client %d update has %d entries, want %d", i+1, len(d), len(dicts[0]))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,430 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reffil/internal/data"
+	"reffil/internal/metrics"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+// Group classifies a client's relationship to the current task, per the
+// paper's client-increment strategy.
+type Group int
+
+// Client groups (paper §II): Old clients retain only past-domain data,
+// In-between clients hold both old and new domain data, New clients joined
+// at the current task with only new-domain data.
+const (
+	GroupOld Group = iota + 1
+	GroupInBetween
+	GroupNew
+)
+
+// String renders the group name.
+func (g Group) String() string {
+	switch g {
+	case GroupOld:
+		return "Uo"
+	case GroupInBetween:
+		return "Ub"
+	case GroupNew:
+		return "Un"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// LocalContext is everything an Algorithm needs for one client's local
+// training phase in one communication round.
+type LocalContext struct {
+	// ClientID identifies the participant.
+	ClientID int
+	// Task is the global incremental-task index of the current stage.
+	Task int
+	// ClientTask is the task whose domain this client is currently
+	// learning (Old clients lag behind Task).
+	ClientTask int
+	// Group is the client's increment group for this stage.
+	Group Group
+	// Data is the client's local training shard. In-between clients see
+	// the concatenation of their old and new domain shards (Algorithm 1
+	// line 17).
+	Data *data.Dataset
+	// Epochs, BatchSize and LR parameterize local SGD.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Rng is the client's deterministic randomness source.
+	Rng *rand.Rand
+}
+
+// Upload is the method-specific payload a client sends beside its weights
+// (RefFiL: the per-class averaged local prompt group of Eq. 5).
+type Upload interface{}
+
+// Algorithm is one federated continual-learning method. The engine owns the
+// federation mechanics; the algorithm owns the model and losses.
+//
+// The engine drives it as: LoadStateDict(Global(), globalDict) before each
+// client; LocalTrain mutates Global()'s parameters in place and returns the
+// method payload; the engine snapshots the mutated state as that client's
+// update and restores the global before the next client.
+type Algorithm interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Global returns the module holding all aggregated state.
+	Global() nn.Module
+	// OnTaskStart runs before the first round of a task stage (e.g. LwF
+	// snapshots the previous global model as the distillation teacher).
+	OnTaskStart(task int) error
+	// OnTaskEnd runs after the last round of a task stage with a sample of
+	// the stage's training data (e.g. EWC consolidates Fisher information).
+	OnTaskEnd(task int, sample *data.Dataset) error
+	// LocalTrain performs one client's local epochs, mutating Global()'s
+	// parameters in place.
+	LocalTrain(ctx *LocalContext) (Upload, error)
+	// ServerRound processes the round's uploads after FedAvg (RefFiL:
+	// FINCH prompt clustering, Eq. 7-8).
+	ServerRound(task, round int, uploads []Upload) error
+	// Predict classifies a batch with the current global model.
+	Predict(x *tensor.Tensor) ([]int, error)
+}
+
+// Config parameterizes a federated domain-incremental run.
+type Config struct {
+	// Rounds is the number of communication rounds per task (paper: 30).
+	Rounds int
+	// Epochs is the number of local epochs per selected client (paper: 20).
+	Epochs int
+	// BatchSize is the local minibatch size.
+	BatchSize int
+	// LR is the local learning rate.
+	LR float64
+	// InitialClients is the participant pool size at task 0.
+	InitialClients int
+	// SelectPerRound is how many participants are selected each round.
+	SelectPerRound int
+	// ClientsPerTaskInc is how many new participants (Un) join per task.
+	ClientsPerTaskInc int
+	// TransferFrac is the fraction of existing clients transitioning to
+	// each new task (paper: 0.8).
+	TransferFrac float64
+	// Alpha is the quantity-shift power-law exponent for partitioning.
+	Alpha float64
+	// TrainPerDomain and TestPerDomain size each domain's datasets.
+	TrainPerDomain, TestPerDomain int
+	// EvalBatch is the evaluation batch size.
+	EvalBatch int
+	// DropoutProb simulates clients failing to return an update.
+	DropoutProb float64
+	// Seed drives all engine-level randomness.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: rounds must be positive, got %d", c.Rounds)
+	case c.Epochs <= 0:
+		return fmt.Errorf("fl: epochs must be positive, got %d", c.Epochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fl: batch size must be positive, got %d", c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("fl: learning rate must be positive, got %v", c.LR)
+	case c.InitialClients <= 0:
+		return fmt.Errorf("fl: initial clients must be positive, got %d", c.InitialClients)
+	case c.SelectPerRound <= 0:
+		return fmt.Errorf("fl: selection count must be positive, got %d", c.SelectPerRound)
+	case c.ClientsPerTaskInc < 0:
+		return fmt.Errorf("fl: clients per task must be non-negative, got %d", c.ClientsPerTaskInc)
+	case c.TransferFrac < 0 || c.TransferFrac > 1:
+		return fmt.Errorf("fl: transfer fraction must be in [0,1], got %v", c.TransferFrac)
+	case c.Alpha < 0:
+		return fmt.Errorf("fl: alpha must be non-negative, got %v", c.Alpha)
+	case c.TrainPerDomain <= 0 || c.TestPerDomain <= 0:
+		return fmt.Errorf("fl: dataset sizes must be positive")
+	case c.EvalBatch <= 0:
+		return fmt.Errorf("fl: eval batch must be positive, got %d", c.EvalBatch)
+	case c.DropoutProb < 0 || c.DropoutProb >= 1:
+		return fmt.Errorf("fl: dropout probability must be in [0,1), got %v", c.DropoutProb)
+	}
+	return nil
+}
+
+// client is the engine's view of one participant.
+type client struct {
+	id int
+	// task is the incremental task the client is currently learning.
+	task int
+	// group for the current stage.
+	group Group
+	// shards maps task index -> this client's training shard.
+	shards map[int]*data.Dataset
+	// joined is the stage at which the client entered the pool.
+	joined int
+}
+
+// Engine runs federated domain-incremental learning over a task sequence.
+type Engine struct {
+	cfg     Config
+	alg     Algorithm
+	rng     *rand.Rand
+	clients []*client
+	// testSets[i] is task i's held-out evaluation set.
+	testSets []*data.Dataset
+	// Progress, when non-nil, receives a line per round (for CLIs).
+	Progress func(msg string)
+}
+
+// NewEngine validates the config and builds an engine for the algorithm.
+func NewEngine(cfg Config, alg Algorithm) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("fl: nil algorithm")
+	}
+	return &Engine{cfg: cfg, alg: alg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Run executes the full task sequence: for each domain, Rounds communication
+// rounds of select -> local train -> FedAvg -> server hook, then evaluation
+// on all seen domains. It returns the completed accuracy matrix.
+func (e *Engine) Run(family *data.Family, domains []string) (*metrics.Matrix, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("fl: no domains to learn")
+	}
+	mat, err := metrics.NewMatrix(len(domains))
+	if err != nil {
+		return nil, err
+	}
+	e.clients = nil
+	e.testSets = make([]*data.Dataset, len(domains))
+
+	for t, domain := range domains {
+		train, test, err := family.Generate(domain, e.cfg.TrainPerDomain, e.cfg.TestPerDomain, e.cfg.Seed+int64(t)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("fl: task %d: %w", t, err)
+		}
+		e.testSets[t] = test
+		if err := e.advanceClients(t, train); err != nil {
+			return nil, err
+		}
+		if err := e.alg.OnTaskStart(t); err != nil {
+			return nil, fmt.Errorf("fl: %s OnTaskStart(%d): %w", e.alg.Name(), t, err)
+		}
+		for r := 0; r < e.cfg.Rounds; r++ {
+			if err := e.runRound(t, r); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.alg.OnTaskEnd(t, train); err != nil {
+			return nil, fmt.Errorf("fl: %s OnTaskEnd(%d): %w", e.alg.Name(), t, err)
+		}
+		for i := 0; i <= t; i++ {
+			acc, err := e.evaluate(e.testSets[i])
+			if err != nil {
+				return nil, fmt.Errorf("fl: evaluating task %d after stage %d: %w", i, t, err)
+			}
+			if err := mat.Record(t, i, acc); err != nil {
+				return nil, err
+			}
+		}
+		if e.Progress != nil {
+			e.Progress(fmt.Sprintf("[%s] task %d (%s) done: acc(current)=%.4f", e.alg.Name(), t, domain, mat.A[t][t]))
+		}
+	}
+	return mat, nil
+}
+
+// advanceClients implements the client-increment strategy at the start of
+// task t: a TransferFrac share of existing clients transitions to the new
+// domain (becoming In-between), the rest stay Old, and ClientsPerTaskInc
+// new clients join. The new domain's training data is partitioned with
+// quantity shift over everyone who trains on it.
+func (e *Engine) advanceClients(t int, train *data.Dataset) error {
+	if t == 0 {
+		for i := 0; i < e.cfg.InitialClients; i++ {
+			e.clients = append(e.clients, &client{
+				id:     i,
+				task:   0,
+				group:  GroupNew,
+				shards: make(map[int]*data.Dataset),
+				joined: 0,
+			})
+		}
+	} else {
+		// Transition TransferFrac of the existing pool to the new task.
+		perm := e.rng.Perm(len(e.clients))
+		nTransfer := int(e.cfg.TransferFrac * float64(len(e.clients)))
+		for i, pi := range perm {
+			c := e.clients[pi]
+			if i < nTransfer {
+				c.task = t
+				c.group = GroupInBetween
+			} else {
+				c.group = GroupOld
+			}
+		}
+		for i := 0; i < e.cfg.ClientsPerTaskInc; i++ {
+			e.clients = append(e.clients, &client{
+				id:     len(e.clients),
+				task:   t,
+				group:  GroupNew,
+				shards: make(map[int]*data.Dataset),
+				joined: t,
+			})
+		}
+	}
+	// Partition the new domain among clients currently on task t.
+	var learners []*client
+	for _, c := range e.clients {
+		if c.task == t {
+			learners = append(learners, c)
+		}
+	}
+	if len(learners) == 0 {
+		return fmt.Errorf("fl: task %d has no learners", t)
+	}
+	shards, err := data.PartitionQuantityShift(train, len(learners), e.cfg.Alpha, e.rng)
+	if err != nil {
+		return fmt.Errorf("fl: partitioning task %d: %w", t, err)
+	}
+	for i, c := range learners {
+		shards[i].SetTask(t)
+		c.shards[t] = shards[i]
+	}
+	return nil
+}
+
+// runRound performs one communication round of Algorithm 1: random
+// selection, local training from the broadcast global state, FedAvg, and
+// the method's server-side hook.
+func (e *Engine) runRound(t, r int) error {
+	selected := e.selectClients()
+	globalDict := nn.StateDict(e.alg.Global())
+
+	var (
+		dicts   []map[string]*tensor.Tensor
+		weights []float64
+		uploads []Upload
+	)
+	for _, c := range selected {
+		ds := e.clientData(c)
+		if ds == nil || ds.Len() == 0 {
+			continue
+		}
+		if e.cfg.DropoutProb > 0 && e.rng.Float64() < e.cfg.DropoutProb {
+			continue // client failed to report back this round
+		}
+		if err := nn.LoadStateDict(e.alg.Global(), globalDict); err != nil {
+			return fmt.Errorf("fl: broadcasting to client %d: %w", c.id, err)
+		}
+		ctx := &LocalContext{
+			ClientID:   c.id,
+			Task:       t,
+			ClientTask: c.task,
+			Group:      c.group,
+			Data:       ds,
+			Epochs:     e.cfg.Epochs,
+			BatchSize:  e.cfg.BatchSize,
+			LR:         e.cfg.LR,
+			Rng:        rand.New(rand.NewSource(e.cfg.Seed ^ int64(c.id)<<20 ^ int64(t)<<10 ^ int64(r))),
+		}
+		up, err := e.alg.LocalTrain(ctx)
+		if err != nil {
+			return fmt.Errorf("fl: client %d local training: %w", c.id, err)
+		}
+		dicts = append(dicts, nn.StateDict(e.alg.Global()))
+		weights = append(weights, float64(ds.Len()))
+		if up != nil {
+			uploads = append(uploads, up)
+		}
+	}
+	if len(dicts) == 0 {
+		// Every selected client dropped out: keep the old global.
+		if err := nn.LoadStateDict(e.alg.Global(), globalDict); err != nil {
+			return err
+		}
+		return nil
+	}
+	avg, err := WeightedAverage(dicts, weights)
+	if err != nil {
+		return fmt.Errorf("fl: aggregating round %d: %w", r, err)
+	}
+	if err := nn.LoadStateDict(e.alg.Global(), avg); err != nil {
+		return fmt.Errorf("fl: installing aggregate: %w", err)
+	}
+	if err := e.alg.ServerRound(t, r, uploads); err != nil {
+		return fmt.Errorf("fl: %s ServerRound: %w", e.alg.Name(), err)
+	}
+	return nil
+}
+
+// selectClients samples min(SelectPerRound, pool) distinct participants.
+func (e *Engine) selectClients() []*client {
+	n := e.cfg.SelectPerRound
+	if n > len(e.clients) {
+		n = len(e.clients)
+	}
+	perm := e.rng.Perm(len(e.clients))
+	out := make([]*client, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, e.clients[i])
+	}
+	return out
+}
+
+// clientData returns the dataset a client trains on this stage: its current
+// shard, prepended with its previous-task shard for In-between clients
+// (Algorithm 1 line 17).
+func (e *Engine) clientData(c *client) *data.Dataset {
+	cur := c.shards[c.task]
+	if c.group == GroupInBetween {
+		if prev, ok := c.shards[c.task-1]; ok {
+			return data.Merge(fmt.Sprintf("client%d/both", c.id), prev, cur)
+		}
+	}
+	return cur
+}
+
+// evaluate runs the algorithm's Predict over a test set.
+func (e *Engine) evaluate(ds *data.Dataset) (float64, error) {
+	batches, err := data.EvalBatches(ds, e.cfg.EvalBatch)
+	if err != nil {
+		return 0, err
+	}
+	var pred, labels []int
+	for _, b := range batches {
+		p, err := e.alg.Predict(b.X)
+		if err != nil {
+			return 0, err
+		}
+		pred = append(pred, p...)
+		labels = append(labels, b.Y...)
+	}
+	return metrics.Accuracy(pred, labels)
+}
+
+// ClientGroups returns the current pool composition (for tests and
+// diagnostics): counts of Old, In-between and New clients.
+func (e *Engine) ClientGroups() (old, between, new int) {
+	for _, c := range e.clients {
+		switch c.group {
+		case GroupOld:
+			old++
+		case GroupInBetween:
+			between++
+		case GroupNew:
+			new++
+		}
+	}
+	return old, between, new
+}
+
+// PoolSize returns the current participant count.
+func (e *Engine) PoolSize() int { return len(e.clients) }

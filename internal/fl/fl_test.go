@@ -1,0 +1,436 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"reffil/internal/autograd"
+	"reffil/internal/data"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+func TestWeightedAverage(t *testing.T) {
+	d1 := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{1, 2}, 2)}
+	d2 := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{3, 6}, 2)}
+	avg, err := WeightedAverage([]map[string]*tensor.Tensor{d1, d2}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice([]float64{2.5, 5}, 2)
+	if !avg["w"].AllClose(want, 1e-12) {
+		t.Fatalf("avg = %v, want %v", avg["w"], want)
+	}
+}
+
+func TestWeightedAverageIdentityOnEqualDicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := map[string]*tensor.Tensor{
+		"a": tensor.RandN(rng, 1, 3, 2),
+		"b": tensor.RandN(rng, 1, 4),
+	}
+	clone := func() map[string]*tensor.Tensor {
+		out := make(map[string]*tensor.Tensor)
+		for k, v := range base {
+			out[k] = v.Clone()
+		}
+		return out
+	}
+	avg, err := WeightedAverage([]map[string]*tensor.Tensor{clone(), clone(), clone()}, []float64{1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range base {
+		if !avg[k].AllClose(v, 1e-12) {
+			t.Fatalf("averaging identical dicts changed entry %q", k)
+		}
+	}
+}
+
+func TestWeightedAverageErrors(t *testing.T) {
+	d := map[string]*tensor.Tensor{"w": tensor.Ones(2)}
+	if _, err := WeightedAverage(nil, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := WeightedAverage([]map[string]*tensor.Tensor{d}, []float64{1, 2}); err == nil {
+		t.Fatal("weight count mismatch must error")
+	}
+	if _, err := WeightedAverage([]map[string]*tensor.Tensor{d}, []float64{0}); err == nil {
+		t.Fatal("zero weight must error")
+	}
+	d2 := map[string]*tensor.Tensor{"v": tensor.Ones(2)}
+	if _, err := WeightedAverage([]map[string]*tensor.Tensor{d, d2}, []float64{1, 1}); err == nil {
+		t.Fatal("key mismatch must error")
+	}
+	d3 := map[string]*tensor.Tensor{"w": tensor.Ones(3)}
+	if _, err := WeightedAverage([]map[string]*tensor.Tensor{d, d3}, []float64{1, 1}); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+// fakeAlg is a minimal Algorithm for engine-mechanics tests: a single
+// scalar parameter that local training increments by 1, and predictions
+// that are always class 0.
+type fakeAlg struct {
+	w          *autograd.Value
+	trainCalls int
+	taskStarts []int
+	taskEnds   []int
+	rounds     int
+	uploads    []int
+	groupsSeen map[Group]int
+}
+
+func newFakeAlg() *fakeAlg {
+	return &fakeAlg{
+		w:          autograd.Param(tensor.New(1)),
+		groupsSeen: make(map[Group]int),
+	}
+}
+
+func (f *fakeAlg) Name() string { return "fake" }
+
+func (f *fakeAlg) Global() nn.Module { return f }
+
+func (f *fakeAlg) Params() []nn.Param { return []nn.Param{{Name: "w", Value: f.w}} }
+
+func (f *fakeAlg) Buffers() []nn.Buffer { return nil }
+
+func (f *fakeAlg) OnTaskStart(task int) error {
+	f.taskStarts = append(f.taskStarts, task)
+	return nil
+}
+
+func (f *fakeAlg) OnTaskEnd(task int, sample *data.Dataset) error {
+	f.taskEnds = append(f.taskEnds, task)
+	return nil
+}
+
+func (f *fakeAlg) LocalTrain(ctx *LocalContext) (Upload, error) {
+	f.trainCalls++
+	f.groupsSeen[ctx.Group]++
+	f.w.T.Data()[0]++
+	return ctx.ClientID, nil
+}
+
+func (f *fakeAlg) ServerRound(task, round int, uploads []Upload) error {
+	f.rounds++
+	for _, u := range uploads {
+		id, ok := u.(int)
+		if !ok {
+			return fmt.Errorf("unexpected upload type %T", u)
+		}
+		f.uploads = append(f.uploads, id)
+	}
+	return nil
+}
+
+func (f *fakeAlg) Predict(x *tensor.Tensor) ([]int, error) {
+	return make([]int, x.Dim(0)), nil
+}
+
+var _ Algorithm = (*fakeAlg)(nil)
+
+func smallConfig() Config {
+	return Config{
+		Rounds:            2,
+		Epochs:            1,
+		BatchSize:         8,
+		LR:                0.05,
+		InitialClients:    6,
+		SelectPerRound:    3,
+		ClientsPerTaskInc: 2,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    60,
+		TestPerDomain:     20,
+		EvalBatch:         10,
+		Seed:              42,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"rounds", func(c *Config) { c.Rounds = 0 }},
+		{"epochs", func(c *Config) { c.Epochs = 0 }},
+		{"batch", func(c *Config) { c.BatchSize = 0 }},
+		{"lr", func(c *Config) { c.LR = 0 }},
+		{"clients", func(c *Config) { c.InitialClients = 0 }},
+		{"select", func(c *Config) { c.SelectPerRound = 0 }},
+		{"transfer", func(c *Config) { c.TransferFrac = 1.5 }},
+		{"alpha", func(c *Config) { c.Alpha = -1 }},
+		{"dropout", func(c *Config) { c.DropoutProb = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestEngineRunMechanics(t *testing.T) {
+	family, err := data.NewFamily("officecaltech10", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newFakeAlg()
+	eng, err := NewEngine(smallConfig(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:3]
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hooks fired once per task, in order.
+	if len(alg.taskStarts) != 3 || len(alg.taskEnds) != 3 {
+		t.Fatalf("task hooks: starts=%v ends=%v", alg.taskStarts, alg.taskEnds)
+	}
+	// Server rounds: Rounds per task unless every client dropped (no
+	// dropout configured).
+	if alg.rounds != 2*3 {
+		t.Fatalf("server rounds = %d, want 6", alg.rounds)
+	}
+	// Pool grows by ClientsPerTaskInc per new task.
+	if got := eng.PoolSize(); got != 6+2*2 {
+		t.Fatalf("pool size = %d, want 10", got)
+	}
+	// Matrix is complete.
+	if _, err := mat.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineClientGroups(t *testing.T) {
+	family, err := data.NewFamily("officecaltech10", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newFakeAlg()
+	eng, err := NewEngine(smallConfig(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, family.Domains[:2]); err != nil {
+		t.Fatal(err)
+	}
+	old, between, newC := eng.ClientGroups()
+	// After task 1: 80% of 6 = 4 transitioned (Ub), 2 stayed (Uo),
+	// 2 joined (Un).
+	if old != 2 || between != 4 || newC != 2 {
+		t.Fatalf("groups Uo=%d Ub=%d Un=%d, want 2/4/2", old, between, newC)
+	}
+	// All three groups must have been seen in training.
+	if alg.groupsSeen[GroupNew] == 0 {
+		t.Fatal("no New-group client ever trained")
+	}
+}
+
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (float64, int) {
+		alg := newFakeAlg()
+		eng, err := NewEngine(smallConfig(), alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(family, family.Domains[:2]); err != nil {
+			t.Fatal(err)
+		}
+		return alg.w.T.At(0), alg.trainCalls
+	}
+	w1, c1 := run()
+	w2, c2 := run()
+	if w1 != w2 || c1 != c2 {
+		t.Fatalf("non-deterministic engine: (%v,%d) vs (%v,%d)", w1, c1, w2, c2)
+	}
+}
+
+func TestEngineAggregationAveragesUpdates(t *testing.T) {
+	// With the fake algorithm every client sets w = w_global + 1, so after
+	// any round the FedAvg aggregate must be exactly w_global + 1.
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Rounds = 3
+	alg := newFakeAlg()
+	eng, err := NewEngine(cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, family.Domains[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := alg.w.T.At(0); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("global after 3 rounds = %v, want 3", got)
+	}
+}
+
+func TestEngineDropoutSkipsClients(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.DropoutProb = 0.5
+	cfg.Rounds = 4
+	alg := newFakeAlg()
+	eng, err := NewEngine(cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, family.Domains[:1]); err != nil {
+		t.Fatal(err)
+	}
+	max := cfg.Rounds * cfg.SelectPerRound
+	if alg.trainCalls >= max {
+		t.Fatalf("dropout never skipped a client: %d calls of max %d", alg.trainCalls, max)
+	}
+	if alg.trainCalls == 0 {
+		t.Fatal("dropout skipped every client at p=0.5")
+	}
+}
+
+// recordingAlg extends fakeAlg to capture the datasets clients trained on.
+type recordingAlg struct {
+	fakeAlg
+	contexts []capturedCtx
+}
+
+type capturedCtx struct {
+	group      Group
+	clientTask int
+	task       int
+	size       int
+	tasksSeen  map[int]bool
+}
+
+func (r *recordingAlg) LocalTrain(ctx *LocalContext) (Upload, error) {
+	seen := make(map[int]bool)
+	for _, ex := range ctx.Data.Examples {
+		seen[ex.Task] = true
+	}
+	r.contexts = append(r.contexts, capturedCtx{
+		group:      ctx.Group,
+		clientTask: ctx.ClientTask,
+		task:       ctx.Task,
+		size:       ctx.Data.Len(),
+		tasksSeen:  seen,
+	})
+	return r.fakeAlg.LocalTrain(ctx)
+}
+
+func TestInBetweenClientsSeeBothTasks(t *testing.T) {
+	family, err := data.NewFamily("officecaltech10", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &recordingAlg{fakeAlg: *newFakeAlg()}
+	cfg := smallConfig()
+	cfg.Rounds = 4
+	cfg.SelectPerRound = 6
+	eng, err := NewEngine(cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, family.Domains[:2]); err != nil {
+		t.Fatal(err)
+	}
+	sawBetween := false
+	for _, c := range alg.contexts {
+		switch c.group {
+		case GroupInBetween:
+			sawBetween = true
+			if !c.tasksSeen[0] || !c.tasksSeen[1] {
+				t.Fatalf("In-between client data covers tasks %v, want both 0 and 1", c.tasksSeen)
+			}
+		case GroupNew:
+			if c.tasksSeen[c.clientTask] != true || len(c.tasksSeen) != 1 {
+				t.Fatalf("New client data covers tasks %v, want only %d", c.tasksSeen, c.clientTask)
+			}
+		case GroupOld:
+			if c.clientTask >= c.task {
+				t.Fatal("Old client must lag behind the current task")
+			}
+			if len(c.tasksSeen) != 1 || !c.tasksSeen[c.clientTask] {
+				t.Fatalf("Old client data covers tasks %v, want only %d", c.tasksSeen, c.clientTask)
+			}
+		}
+	}
+	if !sawBetween {
+		t.Fatal("no In-between client was ever selected at 80% transfer with 6 of 8 selected")
+	}
+}
+
+func TestEngineTaskTagsMatchShards(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &recordingAlg{fakeAlg: *newFakeAlg()}
+	eng, err := NewEngine(smallConfig(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, family.Domains[:3]); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range alg.contexts {
+		for task := range c.tasksSeen {
+			if task < 0 || task > c.task {
+				t.Fatalf("client saw data tagged task %d during stage %d", task, c.task)
+			}
+		}
+	}
+}
+
+func TestEngineRejectsEmptyDomains(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(smallConfig(), newFakeAlg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(family, nil); err == nil {
+		t.Fatal("empty domain list must error")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{}, newFakeAlg()); err == nil {
+		t.Fatal("invalid config must error")
+	}
+	if _, err := NewEngine(smallConfig(), nil); err == nil {
+		t.Fatal("nil algorithm must error")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if GroupOld.String() != "Uo" || GroupInBetween.String() != "Ub" || GroupNew.String() != "Un" {
+		t.Fatal("group names changed")
+	}
+	if Group(0).String() == "" {
+		t.Fatal("unknown group must still render")
+	}
+}

@@ -1,0 +1,214 @@
+// Package transport provides a real network transport for the federated
+// runtime: a coordinator (server) broadcasts global model state to workers
+// over TCP, workers train locally and reply with weighted updates, and the
+// coordinator aggregates. Messages are gob-encoded; tensors cross the wire
+// as shape+data pairs.
+//
+// The in-process engine (package fl) is the default for experiments because
+// it is deterministic and fast; this package exists to demonstrate and test
+// that the same state dicts and payloads federate across real connections
+// (see examples/tcp_federation).
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"reffil/internal/tensor"
+)
+
+// WireTensor is the serialized form of a tensor.
+type WireTensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// ToWire converts a state dict for transmission.
+func ToWire(dict map[string]*tensor.Tensor) map[string]WireTensor {
+	out := make(map[string]WireTensor, len(dict))
+	for k, v := range dict {
+		out[k] = WireTensor{Shape: v.Shape(), Data: append([]float64(nil), v.Data()...)}
+	}
+	return out
+}
+
+// FromWire reconstructs a state dict from its wire form.
+func FromWire(w map[string]WireTensor) (map[string]*tensor.Tensor, error) {
+	out := make(map[string]*tensor.Tensor, len(w))
+	for k, v := range w {
+		n := 1
+		for _, d := range v.Shape {
+			if d < 0 {
+				return nil, fmt.Errorf("transport: entry %q has negative dim %d", k, d)
+			}
+			n *= d
+		}
+		if n != len(v.Data) {
+			return nil, fmt.Errorf("transport: entry %q shape %v does not fit %d values", k, v.Shape, len(v.Data))
+		}
+		out[k] = tensor.FromSlice(append([]float64(nil), v.Data...), v.Shape...)
+	}
+	return out, nil
+}
+
+// Broadcast is the coordinator-to-worker message for one round.
+type Broadcast struct {
+	Task, Round int
+	State       map[string]WireTensor
+	// Payload carries method-specific broadcast data (e.g. RefFiL's
+	// clustered global prompts), already serialized by the method.
+	Payload []byte
+	// Done tells workers to exit their serve loop.
+	Done bool
+}
+
+// Update is the worker-to-coordinator reply.
+type Update struct {
+	WorkerID int
+	// Weight is the FedAvg weight (local dataset size).
+	Weight float64
+	State  map[string]WireTensor
+	// Payload carries method-specific upload data (e.g. prompt groups).
+	Payload []byte
+	// Skip marks a worker that sat this round out (e.g. no local data).
+	Skip bool
+}
+
+// Coordinator runs the server side of a federation.
+type Coordinator struct {
+	ln      net.Listener
+	mu      sync.Mutex
+	workers []*wireConn
+}
+
+type wireConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Listen starts a coordinator on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Accept blocks until n workers have connected.
+func (c *Coordinator) Accept(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i := 0; i < n; i++ {
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return fmt.Errorf("transport: set deadline: %w", err)
+			}
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accepting worker %d/%d: %w", i+1, n, err)
+		}
+		c.mu.Lock()
+		c.workers = append(c.workers, &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Round broadcasts to every worker and collects one update from each.
+// Worker updates arrive concurrently; the returned order is by worker slot.
+func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
+	c.mu.Lock()
+	workers := append([]*wireConn(nil), c.workers...)
+	c.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("transport: no connected workers")
+	}
+	updates := make([]Update, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *wireConn) {
+			defer wg.Done()
+			if err := w.enc.Encode(b); err != nil {
+				errs[i] = fmt.Errorf("transport: sending to worker %d: %w", i, err)
+				return
+			}
+			if b.Done {
+				return
+			}
+			if err := w.dec.Decode(&updates[i]); err != nil {
+				errs[i] = fmt.Errorf("transport: receiving from worker %d: %w", i, err)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return updates, nil
+}
+
+// Close shuts the coordinator and all worker connections down.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		_ = w.conn.Close()
+	}
+	c.workers = nil
+	return c.ln.Close()
+}
+
+// Worker is the client side of a federation.
+type Worker struct {
+	id   int
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects a worker to the coordinator.
+func Dial(addr string, id int) (*Worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Worker{id: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Serve processes broadcasts with handle until the coordinator sends Done
+// or the connection closes. handle receives each broadcast and returns the
+// update to send back.
+func (w *Worker) Serve(handle func(Broadcast) (Update, error)) error {
+	for {
+		var b Broadcast
+		if err := w.dec.Decode(&b); err != nil {
+			return fmt.Errorf("transport: worker %d receive: %w", w.id, err)
+		}
+		if b.Done {
+			return nil
+		}
+		u, err := handle(b)
+		if err != nil {
+			return fmt.Errorf("transport: worker %d handler: %w", w.id, err)
+		}
+		u.WorkerID = w.id
+		if err := w.enc.Encode(u); err != nil {
+			return fmt.Errorf("transport: worker %d send: %w", w.id, err)
+		}
+	}
+}
+
+// Close closes the worker connection.
+func (w *Worker) Close() error { return w.conn.Close() }

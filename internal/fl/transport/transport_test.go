@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"reffil/internal/fl"
+	"reffil/internal/tensor"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dict := map[string]*tensor.Tensor{
+		"w":      tensor.RandN(rng, 1, 3, 4),
+		"b":      tensor.RandN(rng, 1, 4),
+		"scalar": tensor.Scalar(2.5),
+	}
+	back, err := FromWire(ToWire(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(dict) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back), len(dict))
+	}
+	for k, v := range dict {
+		if !back[k].AllClose(v, 0) {
+			t.Fatalf("entry %q corrupted in round trip", k)
+		}
+	}
+}
+
+func TestFromWireValidation(t *testing.T) {
+	if _, err := FromWire(map[string]WireTensor{"x": {Shape: []int{2}, Data: []float64{1}}}); err == nil {
+		t.Fatal("shape/data mismatch must error")
+	}
+	if _, err := FromWire(map[string]WireTensor{"x": {Shape: []int{-1}, Data: nil}}); err == nil {
+		t.Fatal("negative dim must error")
+	}
+}
+
+func TestToWireCopiesData(t *testing.T) {
+	src := tensor.FromSlice([]float64{1, 2}, 2)
+	w := ToWire(map[string]*tensor.Tensor{"x": src})
+	src.Set(99, 0)
+	if w["x"].Data[0] != 1 {
+		t.Fatal("ToWire must copy, not alias")
+	}
+}
+
+// TestFederationOverTCP runs a 3-worker federation over loopback: each
+// worker perturbs the broadcast weights by a worker-specific delta, and the
+// coordinator FedAvgs the updates. After the round the aggregate must equal
+// the weighted mean of the perturbations.
+func TestFederationOverTCP(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	const nWorkers = 3
+	var wg sync.WaitGroup
+	workerErr := make([]error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w, err := Dial(coord.Addr(), id)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			defer w.Close()
+			workerErr[id] = w.Serve(func(b Broadcast) (Update, error) {
+				state, err := FromWire(b.State)
+				if err != nil {
+					return Update{}, err
+				}
+				// Local "training": add id+1 to every weight.
+				for _, v := range state {
+					for j := range v.Data() {
+						v.Data()[j] += float64(id + 1)
+					}
+				}
+				return Update{Weight: float64(id + 1), State: ToWire(state)}, nil
+			})
+		}(i)
+	}
+	if err := coord.Accept(nWorkers, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	global := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{10, 20}, 2)}
+	updates, err := coord.Round(Broadcast{Task: 0, Round: 0, State: ToWire(global)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dicts []map[string]*tensor.Tensor
+	var weights []float64
+	for _, u := range updates {
+		if u.Skip {
+			continue
+		}
+		d, err := FromWire(u.State)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dicts = append(dicts, d)
+		weights = append(weights, u.Weight)
+	}
+	avg, err := fl.WeightedAverage(dicts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean of deltas: (1*1 + 2*2 + 3*3)/6 = 14/6.
+	wantDelta := 14.0 / 6.0
+	want := tensor.FromSlice([]float64{10 + wantDelta, 20 + wantDelta}, 2)
+	if !avg["w"].AllClose(want, 1e-9) {
+		t.Fatalf("aggregate = %v, want %v", avg["w"], want)
+	}
+
+	// Shut workers down and confirm clean exits.
+	if _, err := coord.Round(Broadcast{Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+func TestCoordinatorRoundWithoutWorkers(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.Round(Broadcast{}); err == nil {
+		t.Fatal("round with no workers must error")
+	}
+}
+
+func TestAcceptTimeout(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Accept(1, 50*time.Millisecond); err == nil {
+		t.Fatal("accept with no dialers must time out")
+	}
+}
+
+func TestMultiRoundFederation(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w, err := Dial(coord.Addr(), 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer w.Close()
+		_ = w.Serve(func(b Broadcast) (Update, error) {
+			state, err := FromWire(b.State)
+			if err != nil {
+				return Update{}, err
+			}
+			for _, v := range state {
+				v.Data()[0]++
+			}
+			return Update{Weight: 1, State: ToWire(state)}, nil
+		})
+	}()
+	if err := coord.Accept(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	global := map[string]*tensor.Tensor{"w": tensor.New(1)}
+	for r := 0; r < 5; r++ {
+		updates, err := coord.Round(Broadcast{Round: r, State: ToWire(global)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err = FromWire(updates[0].State)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := global["w"].At(0); got != 5 {
+		t.Fatalf("after 5 rounds w = %v, want 5", got)
+	}
+	if _, err := coord.Round(Broadcast{Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a class-confusion matrix: C[y][p] counts test examples of
+// true class y predicted as class p.
+type Confusion struct {
+	K int
+	C [][]int
+	n int
+}
+
+// NewConfusion allocates a K-class confusion matrix.
+func NewConfusion(k int) (*Confusion, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("metrics: class count must be positive, got %d", k)
+	}
+	c := make([][]int, k)
+	for i := range c {
+		c[i] = make([]int, k)
+	}
+	return &Confusion{K: k, C: c}, nil
+}
+
+// Add records a batch of predictions against labels.
+func (c *Confusion) Add(pred, labels []int) error {
+	if len(pred) != len(labels) {
+		return fmt.Errorf("metrics: %d predictions for %d labels", len(pred), len(labels))
+	}
+	for i := range pred {
+		if labels[i] < 0 || labels[i] >= c.K || pred[i] < 0 || pred[i] >= c.K {
+			return fmt.Errorf("metrics: class out of range: label %d, pred %d (K=%d)", labels[i], pred[i], c.K)
+		}
+		c.C[labels[i]][pred[i]]++
+		c.n++
+	}
+	return nil
+}
+
+// Total returns the number of recorded examples.
+func (c *Confusion) Total() int { return c.n }
+
+// Accuracy returns overall top-1 accuracy.
+func (c *Confusion) Accuracy() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.K; i++ {
+		correct += c.C[i][i]
+	}
+	return float64(correct) / float64(c.n)
+}
+
+// PerClassRecall returns recall (diagonal / row sum) per class; classes
+// with no examples report NaN-free 0.
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.K)
+	for i := 0; i < c.K; i++ {
+		row := 0
+		for j := 0; j < c.K; j++ {
+			row += c.C[i][j]
+		}
+		if row > 0 {
+			out[i] = float64(c.C[i][i]) / float64(row)
+		}
+	}
+	return out
+}
+
+// PerClassPrecision returns precision (diagonal / column sum) per class.
+func (c *Confusion) PerClassPrecision() []float64 {
+	out := make([]float64, c.K)
+	for j := 0; j < c.K; j++ {
+		col := 0
+		for i := 0; i < c.K; i++ {
+			col += c.C[i][j]
+		}
+		if col > 0 {
+			out[j] = float64(c.C[j][j]) / float64(col)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 across classes that have support.
+func (c *Confusion) MacroF1() float64 {
+	rec := c.PerClassRecall()
+	prec := c.PerClassPrecision()
+	sum, n := 0.0, 0
+	for i := 0; i < c.K; i++ {
+		support := 0
+		for j := 0; j < c.K; j++ {
+			support += c.C[i][j]
+		}
+		if support == 0 {
+			continue
+		}
+		n++
+		if prec[i]+rec[i] > 0 {
+			sum += 2 * prec[i] * rec[i] / (prec[i] + rec[i])
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MostConfused returns the off-diagonal (true, predicted) pair with the
+// highest count, useful for diagnosing domain-shift failure modes.
+func (c *Confusion) MostConfused() (trueClass, predClass, count int) {
+	best := -1
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			if i != j && c.C[i][j] > best {
+				best = c.C[i][j]
+				trueClass, predClass = i, j
+			}
+		}
+	}
+	return trueClass, predClass, best
+}
+
+// String renders a compact matrix for small K.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d examples, acc %.2f%%)\n", c.n, c.Accuracy()*100)
+	for i := 0; i < c.K; i++ {
+		for j := 0; j < c.K; j++ {
+			fmt.Fprintf(&b, "%5d", c.C[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

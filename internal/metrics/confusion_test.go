@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion(0); err == nil {
+		t.Fatal("zero classes must error")
+	}
+}
+
+func TestConfusionAddAndAccuracy(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{0, 1, 2, 1}, []int{0, 1, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+	if c.C[2][1] != 1 {
+		t.Fatal("misclassification not recorded at C[true][pred]")
+	}
+}
+
+func TestConfusionAddValidation(t *testing.T) {
+	c, _ := NewConfusion(2)
+	if err := c.Add([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.Add([]int{5}, []int{0}); err == nil {
+		t.Fatal("out-of-range prediction must error")
+	}
+	if err := c.Add([]int{0}, []int{-1}); err == nil {
+		t.Fatal("negative label must error")
+	}
+}
+
+func TestPerClassRecallPrecision(t *testing.T) {
+	c, _ := NewConfusion(2)
+	// Class 0: 3 examples, 2 correct. Class 1: 1 example, 1 correct.
+	if err := c.Add([]int{0, 0, 1, 1}, []int{0, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3.0) > 1e-12 || rec[1] != 1 {
+		t.Fatalf("recall = %v", rec)
+	}
+	prec := c.PerClassPrecision()
+	if prec[0] != 1 || math.Abs(prec[1]-0.5) > 1e-12 {
+		t.Fatalf("precision = %v", prec)
+	}
+}
+
+func TestPerClassHandlesEmptyClasses(t *testing.T) {
+	c, _ := NewConfusion(3)
+	if err := c.Add([]int{0}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.PerClassRecall()
+	if rec[1] != 0 || rec[2] != 0 {
+		t.Fatalf("empty classes must report 0 recall, got %v", rec)
+	}
+}
+
+func TestMacroF1PerfectPrediction(t *testing.T) {
+	c, _ := NewConfusion(2)
+	if err := c.Add([]int{0, 1, 0, 1}, []int{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MacroF1(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want 1", got)
+	}
+}
+
+func TestMacroF1IgnoresUnsupportedClasses(t *testing.T) {
+	c, _ := NewConfusion(3)
+	if err := c.Add([]int{0, 1}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MacroF1(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MacroF1 with empty class = %v, want 1", got)
+	}
+}
+
+func TestMostConfused(t *testing.T) {
+	c, _ := NewConfusion(3)
+	// True class 1 predicted as class 2 three times.
+	if err := c.Add([]int{2, 2, 2, 0}, []int{1, 1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	y, p, n := c.MostConfused()
+	if y != 1 || p != 2 || n != 3 {
+		t.Fatalf("MostConfused = (%d,%d,%d), want (1,2,3)", y, p, n)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c, _ := NewConfusion(2)
+	if err := c.Add([]int{0, 1}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if !strings.Contains(s, "acc 100.00%") {
+		t.Fatalf("String missing accuracy: %q", s)
+	}
+}
+
+func TestEmptyConfusionAccuracyZero(t *testing.T) {
+	c, _ := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty confusion must report zero accuracy")
+	}
+}

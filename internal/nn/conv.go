@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reffil/internal/autograd"
+	"reffil/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution layer.
+type Conv2d struct {
+	name        string
+	W           *autograd.Value // (out, in, kh, kw)
+	B           *autograd.Value // (out,) or nil
+	Stride, Pad int
+}
+
+// NewConv2d builds a He-initialized convolution. Bias is typically false
+// when a BatchNorm follows.
+func NewConv2d(name string, rng *rand.Rand, inC, outC, kernel, stride, pad int, bias bool) *Conv2d {
+	c := &Conv2d{
+		name:   name,
+		W:      autograd.Param(tensor.KaimingConv(rng, outC, inC, kernel, kernel)),
+		Stride: stride,
+		Pad:    pad,
+	}
+	if bias {
+		c.B = autograd.Param(tensor.New(outC))
+	}
+	return c
+}
+
+// Forward convolves x (B,C,H,W).
+func (c *Conv2d) Forward(x *autograd.Value) (*autograd.Value, error) {
+	out, err := autograd.Conv2D(x, c.W, c.B, c.Stride, c.Pad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", c.name, err)
+	}
+	return out, nil
+}
+
+// Params implements Module.
+func (c *Conv2d) Params() []Param {
+	ps := []Param{{Name: c.name + ".w", Value: c.W}}
+	if c.B != nil {
+		ps = append(ps, Param{Name: c.name + ".b", Value: c.B})
+	}
+	return ps
+}
+
+// Buffers implements Module.
+func (c *Conv2d) Buffers() []Buffer { return nil }
+
+var _ Module = (*Conv2d)(nil)
+
+// BatchNorm2d is per-channel batch normalization with running statistics.
+type BatchNorm2d struct {
+	name        string
+	Gamma, Beta *autograd.Value
+	Stats       *autograd.BatchNormStats
+}
+
+// NewBatchNorm2d builds a BatchNorm over c channels with standard momentum.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	return &BatchNorm2d{
+		name:  name,
+		Gamma: autograd.Param(tensor.Ones(c)),
+		Beta:  autograd.Param(tensor.New(c)),
+		Stats: &autograd.BatchNormStats{
+			Mean:     tensor.New(c),
+			Var:      tensor.Ones(c),
+			Momentum: 0.1,
+			Eps:      1e-5,
+		},
+	}
+}
+
+// Forward normalizes x (B,C,H,W); ctx.Train selects batch statistics.
+func (b *BatchNorm2d) Forward(ctx *Ctx, x *autograd.Value) (*autograd.Value, error) {
+	out, err := autograd.BatchNorm2D(x, b.Gamma, b.Beta, b.Stats, ctx.Train)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", b.name, err)
+	}
+	return out, nil
+}
+
+// Params implements Module.
+func (b *BatchNorm2d) Params() []Param {
+	return []Param{
+		{Name: b.name + ".gamma", Value: b.Gamma},
+		{Name: b.name + ".beta", Value: b.Beta},
+	}
+}
+
+// Buffers implements Module.
+func (b *BatchNorm2d) Buffers() []Buffer {
+	return []Buffer{
+		{Name: b.name + ".running_mean", T: b.Stats.Mean},
+		{Name: b.name + ".running_var", T: b.Stats.Var},
+	}
+}
+
+var _ Module = (*BatchNorm2d)(nil)
+
+// LayerNorm normalizes over the last axis with learnable affine parameters.
+type LayerNorm struct {
+	name        string
+	Gamma, Beta *autograd.Value
+	Eps         float64
+}
+
+// NewLayerNorm builds a LayerNorm over width d.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	return &LayerNorm{
+		name:  name,
+		Gamma: autograd.Param(tensor.Ones(d)),
+		Beta:  autograd.Param(tensor.New(d)),
+		Eps:   1e-5,
+	}
+}
+
+// Forward normalizes x over its last axis.
+func (l *LayerNorm) Forward(x *autograd.Value) (*autograd.Value, error) {
+	out, err := autograd.LayerNorm(x, l.Gamma, l.Beta, l.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", l.name, err)
+	}
+	return out, nil
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []Param {
+	return []Param{
+		{Name: l.name + ".gamma", Value: l.Gamma},
+		{Name: l.name + ".beta", Value: l.Beta},
+	}
+}
+
+// Buffers implements Module.
+func (l *LayerNorm) Buffers() []Buffer { return nil }
+
+var _ Module = (*LayerNorm)(nil)

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math/rand"
+
+	"reffil/internal/autograd"
+	"reffil/internal/tensor"
+)
+
+// Linear is a fully connected layer computing x·W + b.
+type Linear struct {
+	name string
+	W    *autograd.Value // (in, out)
+	B    *autograd.Value // (out,) or nil
+}
+
+// NewLinear builds a He-initialized linear layer. Pass bias=false for
+// projection layers that are followed by normalization.
+func NewLinear(name string, rng *rand.Rand, in, out int, bias bool) *Linear {
+	l := &Linear{
+		name: name,
+		W:    autograd.Param(tensor.KaimingLinear(rng, in, out)),
+	}
+	if bias {
+		l.B = autograd.Param(tensor.New(out))
+	}
+	return l
+}
+
+// NewLinearXavier builds a Glorot-initialized linear layer, suited to
+// attention projections.
+func NewLinearXavier(name string, rng *rand.Rand, in, out int, bias bool) *Linear {
+	l := &Linear{
+		name: name,
+		W:    autograd.Param(tensor.XavierLinear(rng, in, out)),
+	}
+	if bias {
+		l.B = autograd.Param(tensor.New(out))
+	}
+	return l
+}
+
+// Freeze marks the layer's parameters as non-trainable (used by the frozen
+// tokenizer). Frozen parameters still appear in the state dict.
+func (l *Linear) Freeze() {
+	l.W = autograd.Constant(l.W.T)
+	if l.B != nil {
+		l.B = autograd.Constant(l.B.T)
+	}
+}
+
+// Forward applies the layer to x, whose last dimension must equal the
+// input width. Higher-rank inputs are flattened over leading dims.
+func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
+	in := l.W.T.Dim(0)
+	if x.T.NDim() == 2 {
+		return autograd.Linear(x, l.W, l.B)
+	}
+	shape := x.T.Shape()
+	flat := autograd.Reshape(x, -1, in)
+	out := autograd.Linear(flat, l.W, l.B)
+	outShape := append(shape[:len(shape)-1:len(shape)-1], l.W.T.Dim(1))
+	return autograd.Reshape(out, outShape...)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []Param {
+	if !l.W.RequiresGrad() {
+		return nil
+	}
+	ps := []Param{{Name: l.name + ".w", Value: l.W}}
+	if l.B != nil {
+		ps = append(ps, Param{Name: l.name + ".b", Value: l.B})
+	}
+	return ps
+}
+
+// Buffers implements Module. Frozen weights are exposed as buffers so they
+// still travel in the state dict.
+func (l *Linear) Buffers() []Buffer {
+	if l.W.RequiresGrad() {
+		return nil
+	}
+	bs := []Buffer{{Name: l.name + ".w", T: l.W.T}}
+	if l.B != nil {
+		bs = append(bs, Buffer{Name: l.name + ".b", T: l.B.T})
+	}
+	return bs
+}
+
+var _ Module = (*Linear)(nil)
+
+// MLP is a two-layer perceptron with a ReLU between the layers.
+type MLP struct {
+	fc1, fc2 *Linear
+}
+
+// NewMLP builds an in->hidden->out MLP.
+func NewMLP(name string, rng *rand.Rand, in, hidden, out int) *MLP {
+	return &MLP{
+		fc1: NewLinear(name+".fc1", rng, in, hidden, true),
+		fc2: NewLinear(name+".fc2", rng, hidden, out, true),
+	}
+}
+
+// Forward applies fc2(relu(fc1(x))).
+func (m *MLP) Forward(x *autograd.Value) *autograd.Value {
+	return m.fc2.Forward(autograd.ReLU(m.fc1.Forward(x)))
+}
+
+// Params implements Module.
+func (m *MLP) Params() []Param { return joinParams(m.fc1.Params(), m.fc2.Params()) }
+
+// Buffers implements Module.
+func (m *MLP) Buffers() []Buffer { return joinBuffers(m.fc1.Buffers(), m.fc2.Buffers()) }
+
+var _ Module = (*MLP)(nil)

@@ -1,0 +1,151 @@
+// Package nn provides neural-network layers built on the autograd tape:
+// linear and convolutional layers, batch/layer normalization, multi-head
+// self-attention, residual blocks and the ResNet10 feature extractor the
+// paper uses, plus the frozen patch-embedding tokenizer.
+//
+// Layers are Modules: they expose named trainable parameters and named
+// non-trainable buffers (e.g. BatchNorm running statistics) so that the
+// federated runtime can average, serialize and transplant model state.
+package nn
+
+import (
+	"fmt"
+
+	"reffil/internal/autograd"
+	"reffil/internal/tensor"
+)
+
+// Param is a named trainable tensor.
+type Param struct {
+	Name  string
+	Value *autograd.Value
+}
+
+// Buffer is named non-trainable state that still travels with the model,
+// such as BatchNorm running statistics.
+type Buffer struct {
+	Name string
+	T    *tensor.Tensor
+}
+
+// Module is anything carrying trainable parameters and state buffers.
+type Module interface {
+	// Params returns the module's trainable parameters in a stable order.
+	Params() []Param
+	// Buffers returns the module's non-trainable state in a stable order.
+	Buffers() []Buffer
+}
+
+// Ctx carries per-forward-pass flags through layer stacks.
+type Ctx struct {
+	// Train selects training behaviour (batch statistics in BatchNorm).
+	Train bool
+}
+
+// StateDict flattens a module's parameters and buffers into a name->tensor
+// map. Tensors are cloned so the caller owns them.
+func StateDict(m Module) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range m.Params() {
+		out[p.Name] = p.Value.T.Clone()
+	}
+	for _, b := range m.Buffers() {
+		out[b.Name] = b.T.Clone()
+	}
+	return out
+}
+
+// LoadStateDict copies tensors from the dict into the module's parameters
+// and buffers. Every entry in the module must be present with a matching
+// size; extra dict entries are an error too, so silent drift is impossible.
+func LoadStateDict(m Module, dict map[string]*tensor.Tensor) error {
+	used := make(map[string]bool, len(dict))
+	apply := func(name string, dst *tensor.Tensor) error {
+		src, ok := dict[name]
+		if !ok {
+			return fmt.Errorf("nn: state dict missing entry %q", name)
+		}
+		if src.Size() != dst.Size() {
+			return fmt.Errorf("nn: state dict entry %q has %d elements, want %d", name, src.Size(), dst.Size())
+		}
+		dst.CopyFrom(src)
+		used[name] = true
+		return nil
+	}
+	for _, p := range m.Params() {
+		if err := apply(p.Name, p.Value.T); err != nil {
+			return err
+		}
+	}
+	for _, b := range m.Buffers() {
+		if err := apply(b.Name, b.T); err != nil {
+			return err
+		}
+	}
+	if len(used) != len(dict) {
+		for name := range dict {
+			if !used[name] {
+				return fmt.Errorf("nn: state dict has unknown entry %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// ZeroGrads clears accumulated gradients on all of a module's parameters.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.Value.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of trainable scalars in a module.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.T.Size()
+	}
+	return n
+}
+
+// Modules combines several modules into one (e.g. a backbone plus a prompt
+// generator aggregated together by FedAvg).
+type Modules []Module
+
+// Params implements Module.
+func (m Modules) Params() []Param {
+	var out []Param
+	for _, mod := range m {
+		out = append(out, mod.Params()...)
+	}
+	return out
+}
+
+// Buffers implements Module.
+func (m Modules) Buffers() []Buffer {
+	var out []Buffer
+	for _, mod := range m {
+		out = append(out, mod.Buffers()...)
+	}
+	return out
+}
+
+var _ Module = (Modules)(nil)
+
+// joinParams concatenates parameter lists from submodules.
+func joinParams(lists ...[]Param) []Param {
+	var out []Param
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// joinBuffers concatenates buffer lists from submodules.
+func joinBuffers(lists ...[]Buffer) []Buffer {
+	var out []Buffer
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reffil/internal/autograd"
+	"reffil/internal/tensor"
+)
+
+// PatchEmbed is the paper's feature-map tokenizer: a ViT-style embedding
+// with "initialized-only and frozen parameters". Each spatial position of
+// the (B,C,H,W) feature map becomes one token; a frozen linear projection
+// maps channels to the token width and a frozen positional table is added.
+type PatchEmbed struct {
+	name string
+	proj *Linear
+	pos  *tensor.Tensor // (maxTokens, d), frozen
+	dim  int
+}
+
+// NewPatchEmbed builds a frozen tokenizer projecting inC channels to dim,
+// with positional embeddings for up to maxTokens positions.
+func NewPatchEmbed(name string, rng *rand.Rand, inC, dim, maxTokens int) *PatchEmbed {
+	proj := NewLinearXavier(name+".proj", rng, inC, dim, true)
+	proj.Freeze()
+	return &PatchEmbed{
+		name: name,
+		proj: proj,
+		pos:  tensor.RandN(rng, 0.02, maxTokens, dim),
+		dim:  dim,
+	}
+}
+
+// Dim returns the token width.
+func (p *PatchEmbed) Dim() int { return p.dim }
+
+// Forward tokenizes a feature map (B,C,H,W) into (B, H*W, dim).
+func (p *PatchEmbed) Forward(fm *autograd.Value) (*autograd.Value, error) {
+	if fm.T.NDim() != 4 {
+		return nil, fmt.Errorf("nn: %s wants a 4-D feature map, got %v", p.name, fm.T.Shape())
+	}
+	b, c, h, w := fm.T.Dim(0), fm.T.Dim(1), fm.T.Dim(2), fm.T.Dim(3)
+	n := h * w
+	if n > p.pos.Dim(0) {
+		return nil, fmt.Errorf("nn: %s has positional table for %d tokens, need %d", p.name, p.pos.Dim(0), n)
+	}
+	// (B,C,H,W) -> (B,H,W,C) -> (B, n, C) -> project -> (B, n, dim)
+	tokens := autograd.Reshape(autograd.Permute(fm, 0, 2, 3, 1), b, n, c)
+	tokens = p.proj.Forward(tokens)
+	pos := tensor.Narrow(p.pos, 0, 0, n).Reshape(1, n, p.dim)
+	return autograd.Add(tokens, autograd.Constant(pos)), nil
+}
+
+// Params implements Module: the tokenizer is frozen, so none.
+func (p *PatchEmbed) Params() []Param { return nil }
+
+// Buffers implements Module: frozen projection and positional table travel
+// as buffers so all participants share the same tokenizer.
+func (p *PatchEmbed) Buffers() []Buffer {
+	return append(p.proj.Buffers(), Buffer{Name: p.name + ".pos", T: p.pos})
+}
+
+var _ Module = (*PatchEmbed)(nil)

@@ -1,0 +1,208 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reffil/internal/autograd"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+func quadParams(vals ...float64) []nn.Param {
+	ps := make([]nn.Param, len(vals))
+	for i, v := range vals {
+		ps[i] = nn.Param{Name: "p", Value: autograd.Param(tensor.FromSlice([]float64{v}, 1))}
+	}
+	return ps
+}
+
+func TestNewSGDValidation(t *testing.T) {
+	tests := []struct {
+		name        string
+		lr, mom, wd float64
+		wantErr     bool
+	}{
+		{"valid", 0.1, 0.9, 1e-4, false},
+		{"zero lr", 0, 0, 0, true},
+		{"negative lr", -1, 0, 0, true},
+		{"momentum 1", 0.1, 1, 0, true},
+		{"negative wd", 0.1, 0, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSGD(nil, tt.lr, tt.mom, tt.wd)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)² from x=0.
+	ps := quadParams(0)
+	x := ps[0].Value
+	sgd, err := NewSGD(ps, 0.1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sgd.ZeroGrad()
+		loss := autograd.Sum(autograd.Square(autograd.AddScalar(x, -3)))
+		if err := autograd.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		sgd.Step()
+	}
+	if got := x.T.At(0); math.Abs(got-3) > 1e-3 {
+		t.Fatalf("converged to %v, want 3", got)
+	}
+}
+
+func TestSGDMomentumAcceleratesConvergence(t *testing.T) {
+	run := func(momentum float64) float64 {
+		ps := quadParams(0)
+		x := ps[0].Value
+		sgd, err := NewSGD(ps, 0.02, momentum, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			sgd.ZeroGrad()
+			loss := autograd.Sum(autograd.Square(autograd.AddScalar(x, -3)))
+			if err := autograd.Backward(loss); err != nil {
+				t.Fatal(err)
+			}
+			sgd.Step()
+		}
+		return math.Abs(x.T.At(0) - 3)
+	}
+	plain := run(0)
+	withMomentum := run(0.9)
+	if withMomentum >= plain {
+		t.Fatalf("momentum should converge faster on a quadratic: %v vs %v", withMomentum, plain)
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	// With zero data gradient, weight decay alone must shrink the weight.
+	ps := quadParams(2)
+	x := ps[0].Value
+	sgd, err := NewSGD(ps, 0.1, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.EnsureGrad() // zero gradient present
+	before := x.T.At(0)
+	sgd.Step()
+	if got := x.T.At(0); got >= before {
+		t.Fatalf("weight decay did not shrink weight: %v -> %v", before, got)
+	}
+}
+
+func TestSGDSkipsNilGrad(t *testing.T) {
+	ps := quadParams(1)
+	sgd, err := NewSGD(ps, 0.1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd.Step() // no gradient accumulated
+	if got := ps[0].Value.T.At(0); got != 1 {
+		t.Fatalf("param changed without gradient: %v", got)
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	ps := quadParams(0, 0)
+	ps[0].Value.EnsureGrad().Fill(3)
+	ps[1].Value.EnsureGrad().Fill(4)
+	norm := ClipGradNorm(ps, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	total := 0.0
+	for _, p := range ps {
+		n := p.Value.Grad.L2Norm()
+		total += n * n
+	}
+	if math.Abs(math.Sqrt(total)-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(total))
+	}
+}
+
+func TestClipGradNormNoopBelowThreshold(t *testing.T) {
+	ps := quadParams(0)
+	ps[0].Value.EnsureGrad().Fill(0.5)
+	ClipGradNorm(ps, 10)
+	if got := ps[0].Value.Grad.At(0); got != 0.5 {
+		t.Fatalf("clip modified gradient below threshold: %v", got)
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	sched := StepDecay(1.0, 10, 0.5)
+	if got := sched(0); got != 1.0 {
+		t.Fatalf("sched(0) = %v", got)
+	}
+	if got := sched(10); got != 0.5 {
+		t.Fatalf("sched(10) = %v", got)
+	}
+	if got := sched(25); got != 0.25 {
+		t.Fatalf("sched(25) = %v", got)
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	sched := CosineDecay(1.0, 0.1, 100)
+	if got := sched(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("sched(0) = %v, want 1", got)
+	}
+	if got := sched(100); got != 0.1 {
+		t.Fatalf("sched(100) = %v, want 0.1", got)
+	}
+	mid := sched(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("sched(50) = %v, want strictly between floor and base", mid)
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for s := 0; s <= 100; s += 5 {
+		v := sched(s)
+		if v > prev+1e-12 {
+			t.Fatalf("cosine schedule increased at step %d", s)
+		}
+		prev = v
+	}
+}
+
+func TestSGDTrainsTinyNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear("l", rng, 2, 2, true)
+	sgd, err := NewSGD(l.Params(), 0.5, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := autograd.Constant(tensor.FromSlice([]float64{1, 0, 0, 1, 1, 1, 0, 0}, 4, 2))
+	labels := []int{0, 1, 1, 0}
+	var first, last float64
+	for i := 0; i < 60; i++ {
+		sgd.ZeroGrad()
+		loss, err := autograd.SoftmaxCrossEntropy(l.Forward(x), labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := autograd.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		sgd.Step()
+		if i == 0 {
+			first = loss.T.Item()
+		}
+		last = loss.T.Item()
+	}
+	if last >= first {
+		t.Fatalf("training loss did not decrease: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import "fmt"
+
+// MatMul multiplies two 2-D tensors: (m,k) x (k,n) -> (m,n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulKernel(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matmulKernel computes C = A(m,k) * B(k,n) into c, which must be zeroed.
+// The loop order (i,p,j) streams B rows sequentially, which is the cache
+// friendly order for row-major storage.
+func matmulKernel(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulT1 computes aᵀ·b for a (k,m) and b (k,n) -> (m,n) without
+// materializing the transpose.
+func MatMulT1(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := out.data[i*n : (i+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 computes a·bᵀ for a (m,k) and b (n,k) -> (m,n) without
+// materializing the transpose.
+func MatMulT2(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		ci := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return out
+}
+
+// BatchMatMul multiplies two 3-D tensors batch-wise:
+// (B,m,k) x (B,k,n) -> (B,m,n).
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 3 || b.NDim() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMul needs 3-D operands, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: BatchMatMul batch mismatch %v x %v", a.shape, b.shape))
+	}
+	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchMatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(bs, m, n)
+	for i := 0; i < bs; i++ {
+		matmulKernel(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
+	}
+	return out
+}
+
+// MatVec multiplies a 2-D tensor (m,k) by a vector (k,) -> (m,).
+func MatVec(a, v *Tensor) *Tensor {
+	if a.NDim() != 2 || v.NDim() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec needs (2-D, 1-D), got %v and %v", a.shape, v.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if v.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x %v", a.shape, v.shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for p := range ai {
+			s += ai[p] * v.data[p]
+		}
+		out.data[i] = s
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BroadcastShapes returns the numpy-style broadcast of two shapes, or an
+// error when the shapes are incompatible.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		da, db := 1, 1
+		if i >= n-len(a) {
+			da = a[i-(n-len(a))]
+		}
+		if i >= n-len(b) {
+			db = b[i-(n-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast shapes %v and %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// broadcastStrides returns strides for iterating a tensor of shape `shape`
+// as if it had been broadcast to `out` (stride 0 on broadcast axes).
+func broadcastStrides(shape, out []int) []int {
+	strides := make([]int, len(out))
+	acc := 1
+	off := len(out) - len(shape)
+	for i := len(out) - 1; i >= 0; i-- {
+		if i < off || shape[i-off] == 1 {
+			strides[i] = 0
+		} else {
+			strides[i] = acc
+			acc *= shape[i-off]
+		}
+	}
+	return strides
+}
+
+// binaryOp applies f elementwise with numpy broadcasting.
+func binaryOp(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	// Fast path: identical shapes.
+	if a.SameShape(b) {
+		out := New(a.shape...)
+		for i := range out.data {
+			out.data[i] = f(a.data[i], b.data[i])
+		}
+		return out
+	}
+	outShape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err.Error())
+	}
+	out := New(outShape...)
+	sa := broadcastStrides(a.shape, outShape)
+	sb := broadcastStrides(b.shape, outShape)
+	idx := make([]int, len(outShape))
+	oa, ob := 0, 0
+	for i := range out.data {
+		out.data[i] = f(a.data[oa], b.data[ob])
+		// Increment the multi-index and the two offsets.
+		for ax := len(outShape) - 1; ax >= 0; ax-- {
+			idx[ax]++
+			oa += sa[ax]
+			ob += sb[ax]
+			if idx[ax] < outShape[ax] {
+				break
+			}
+			idx[ax] = 0
+			oa -= sa[ax] * outShape[ax]
+			ob -= sb[ax] * outShape[ax]
+		}
+	}
+	return out
+}
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Tensor) *Tensor { return binaryOp(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Tensor) *Tensor { return binaryOp(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the elementwise product with broadcasting.
+func Mul(a, b *Tensor) *Tensor { return binaryOp(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns the elementwise quotient with broadcasting.
+func Div(a, b *Tensor) *Tensor { return binaryOp(a, b, func(x, y float64) float64 { return x / y }) }
+
+// ReduceTo sums t down to the given target shape, inverting a broadcast.
+// It is the gradient counterpart of broadcasting: summing over the axes that
+// were expanded. The target shape must be broadcastable to t's shape.
+func ReduceTo(t *Tensor, shape []int) *Tensor {
+	if len(shape) == len(t.shape) {
+		same := true
+		for i := range shape {
+			if shape[i] != t.shape[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t.Clone()
+		}
+	}
+	out := New(shape...)
+	strides := broadcastStrides(shape, t.shape)
+	idx := make([]int, len(t.shape))
+	off := 0
+	for i := range t.data {
+		out.data[off] += t.data[i]
+		for ax := len(t.shape) - 1; ax >= 0; ax-- {
+			idx[ax]++
+			off += strides[ax]
+			if idx[ax] < t.shape[ax] {
+				break
+			}
+			idx[ax] = 0
+			off -= strides[ax] * t.shape[ax]
+		}
+	}
+	return out
+}
+
+// AddInPlace adds src into t elementwise. Shapes must match in total size.
+func (t *Tensor) AddInPlace(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: AddInPlace size mismatch %v vs %v", t.shape, src.shape))
+	}
+	for i, v := range src.data {
+		t.data[i] += v
+	}
+}
+
+// AddScaledInPlace adds alpha*src into t elementwise.
+func (t *Tensor) AddScaledInPlace(alpha float64, src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: AddScaledInPlace size mismatch %v vs %v", t.shape, src.shape))
+	}
+	for i, v := range src.data {
+		t.data[i] += alpha * v
+	}
+}
+
+// ScaleInPlace multiplies every element by alpha.
+func (t *Tensor) ScaleInPlace(alpha float64) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// Scale returns alpha * t.
+func Scale(t *Tensor, alpha float64) *Tensor {
+	out := t.Clone()
+	out.ScaleInPlace(alpha)
+	return out
+}
+
+// AddScalar returns t + c.
+func AddScalar(t *Tensor, c float64) *Tensor {
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] += c
+	}
+	return out
+}
+
+// Apply returns f applied elementwise.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Neg returns -t.
+func Neg(t *Tensor) *Tensor { return Scale(t, -1) }
+
+// Exp returns e^t elementwise.
+func Exp(t *Tensor) *Tensor { return Apply(t, math.Exp) }
+
+// Log returns the natural log elementwise.
+func Log(t *Tensor) *Tensor { return Apply(t, math.Log) }
+
+// Sqrt returns the square root elementwise.
+func Sqrt(t *Tensor) *Tensor { return Apply(t, math.Sqrt) }
+
+// Tanh returns tanh elementwise.
+func Tanh(t *Tensor) *Tensor { return Apply(t, math.Tanh) }
+
+// ReLU returns max(0, x) elementwise.
+func ReLU(t *Tensor) *Tensor {
+	return Apply(t, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Dot returns the inner product of two equally-sized tensors viewed as flat
+// vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %v vs %v", a.shape, b.shape))
+	}
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// CosineSimilarity returns the cosine similarity of two equally-sized
+// tensors viewed as flat vectors. Zero vectors yield similarity 0.
+func CosineSimilarity(a, b *Tensor) float64 {
+	na, nb := a.L2Norm(), b.L2Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandN returns a tensor with elements drawn from N(0, std²).
+func RandN(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform returns a tensor with elements drawn uniformly from [lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// KaimingConv returns a He-initialized convolution weight of shape
+// (outC, inC, kh, kw), suited to ReLU networks.
+func KaimingConv(rng *rand.Rand, outC, inC, kh, kw int) *Tensor {
+	fanIn := inC * kh * kw
+	std := math.Sqrt(2 / float64(fanIn))
+	return RandN(rng, std, outC, inC, kh, kw)
+}
+
+// KaimingLinear returns a He-initialized linear weight of shape (in, out).
+func KaimingLinear(rng *rand.Rand, in, out int) *Tensor {
+	std := math.Sqrt(2 / float64(in))
+	return RandN(rng, std, in, out)
+}
+
+// XavierLinear returns a Glorot-initialized linear weight of shape (in, out),
+// suited to attention projections and tanh/sigmoid activations.
+func XavierLinear(rng *rand.Rand, in, out int) *Tensor {
+	limit := math.Sqrt(6 / float64(in+out))
+	return RandUniform(rng, -limit, limit, in, out)
+}

@@ -1,0 +1,215 @@
+package tensor
+
+import "fmt"
+
+// Reshape returns a tensor sharing t's data with a new shape of identical
+// total size. One dimension may be -1, in which case it is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic(fmt.Sprintf("tensor: Reshape with multiple -1 dims %v", shape))
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dim for Reshape %v -> %v", t.shape, shape))
+		}
+		shape[infer] = len(t.data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: Reshape %v -> %v changes size", t.shape, shape))
+	}
+	return &Tensor{shape: shape, data: t.data}
+}
+
+// Flatten returns a 1-D view of t's data.
+func (t *Tensor) Flatten() *Tensor { return t.Reshape(len(t.data)) }
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs 2-D, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out
+}
+
+// Permute returns a copy of t with axes reordered by perm.
+func Permute(t *Tensor, perm ...int) *Tensor {
+	if len(perm) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: Permute arity mismatch perm=%v shape=%v", perm, t.shape))
+	}
+	seen := make([]bool, len(perm))
+	outShape := make([]int, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		outShape[i] = t.shape[p]
+	}
+	out := New(outShape...)
+	inStrides := t.Strides()
+	// Iterate the output in order, mapping each output index to the input.
+	idx := make([]int, len(outShape))
+	inOff := 0
+	permStrides := make([]int, len(perm))
+	for i, p := range perm {
+		permStrides[i] = inStrides[p]
+	}
+	for i := range out.data {
+		out.data[i] = t.data[inOff]
+		for ax := len(outShape) - 1; ax >= 0; ax-- {
+			idx[ax]++
+			inOff += permStrides[ax]
+			if idx[ax] < outShape[ax] {
+				break
+			}
+			idx[ax] = 0
+			inOff -= permStrides[ax] * outShape[ax]
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along the given axis. All other dimensions
+// must match.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	first := ts[0]
+	if axis < 0 || axis >= first.NDim() {
+		panic(fmt.Sprintf("tensor: Concat axis %d out of range for shape %v", axis, first.shape))
+	}
+	outShape := first.Shape()
+	for _, t := range ts[1:] {
+		if t.NDim() != first.NDim() {
+			panic(fmt.Sprintf("tensor: Concat rank mismatch %v vs %v", first.shape, t.shape))
+		}
+		for i := range t.shape {
+			if i == axis {
+				continue
+			}
+			if t.shape[i] != first.shape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v on axis %d", first.shape, t.shape, i))
+			}
+		}
+		outShape[axis] += t.shape[axis]
+	}
+	out := New(outShape...)
+	// outer = product of dims before axis, inner = product after.
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= first.shape[i]
+	}
+	for i := axis + 1; i < first.NDim(); i++ {
+		inner *= first.shape[i]
+	}
+	outRow := outShape[axis] * inner
+	col := 0
+	for _, t := range ts {
+		rowLen := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			copy(out.data[o*outRow+col:o*outRow+col+rowLen], t.data[o*rowLen:(o+1)*rowLen])
+		}
+		col += rowLen
+	}
+	return out
+}
+
+// Narrow returns a copy of the slice of t along axis from start (inclusive)
+// to end (exclusive).
+func Narrow(t *Tensor, axis, start, end int) *Tensor {
+	if axis < 0 || axis >= t.NDim() {
+		panic(fmt.Sprintf("tensor: Narrow axis %d out of range for shape %v", axis, t.shape))
+	}
+	if start < 0 || end > t.shape[axis] || start > end {
+		panic(fmt.Sprintf("tensor: Narrow range [%d,%d) out of bounds for axis %d of %v", start, end, axis, t.shape))
+	}
+	outShape := t.Shape()
+	outShape[axis] = end - start
+	out := New(outShape...)
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= t.shape[i]
+	}
+	for i := axis + 1; i < t.NDim(); i++ {
+		inner *= t.shape[i]
+	}
+	inRow := t.shape[axis] * inner
+	outRow := (end - start) * inner
+	for o := 0; o < outer; o++ {
+		copy(out.data[o*outRow:(o+1)*outRow], t.data[o*inRow+start*inner:o*inRow+end*inner])
+	}
+	return out
+}
+
+// NarrowAddInPlace adds src into the slice of t along axis starting at
+// start. It is the scatter counterpart of Narrow, used by gradients.
+func NarrowAddInPlace(t *Tensor, axis, start int, src *Tensor) {
+	end := start + src.shape[axis]
+	if end > t.shape[axis] {
+		panic(fmt.Sprintf("tensor: NarrowAddInPlace overflow axis %d: %d+%d > %d", axis, start, src.shape[axis], t.shape[axis]))
+	}
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= t.shape[i]
+	}
+	for i := axis + 1; i < t.NDim(); i++ {
+		inner *= t.shape[i]
+	}
+	inRow := t.shape[axis] * inner
+	srcRow := src.shape[axis] * inner
+	for o := 0; o < outer; o++ {
+		dst := t.data[o*inRow+start*inner : o*inRow+end*inner]
+		s := src.data[o*srcRow : (o+1)*srcRow]
+		for i, v := range s {
+			dst[i] += v
+		}
+	}
+}
+
+// Stack stacks equally shaped tensors along a new leading axis.
+func Stack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of no tensors")
+	}
+	shape := append([]int{len(ts)}, ts[0].shape...)
+	out := New(shape...)
+	n := ts[0].Size()
+	for i, t := range ts {
+		if !t.SameShape(ts[0]) {
+			panic(fmt.Sprintf("tensor: Stack shape mismatch %v vs %v", ts[0].shape, t.shape))
+		}
+		copy(out.data[i*n:(i+1)*n], t.data)
+	}
+	return out
+}
+
+// Row returns a copy of row i of a 2-D tensor as a 1-D tensor.
+func Row(t *Tensor, i int) *Tensor {
+	if t.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: Row needs 2-D, got %v", t.shape))
+	}
+	n := t.shape[1]
+	out := New(n)
+	copy(out.data, t.data[i*n:(i+1)*n])
+	return out
+}
