@@ -11,11 +11,18 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
+	"reffil/internal/baselines"
 	"reffil/internal/core"
+	"reffil/internal/data"
 	"reffil/internal/experiments"
+	"reffil/internal/fl"
+	"reffil/internal/model"
+	"reffil/internal/tensor"
 )
 
 // benchScale reads the scale preset from the environment.
@@ -212,6 +219,83 @@ func BenchmarkAblationPromptLen(b *testing.B) {
 		fmt.Printf("  p=%d: Avg %.2f%%  Last %.2f%%\n", p, results[j].Summary.Avg*100, results[j].Summary.Last*100)
 	}
 	reportRefFiL(b, results[2])
+}
+
+// BenchmarkMatMulParallel measures the shared chunked parallel-for kernel
+// on a training-scale matmul: the serial sub-benchmark pins GOMAXPROCS to 1
+// (which disables helper fan-out in internal/parallel), the parallel one
+// runs at the machine's processor count. BENCH_parallel.json records the
+// measured ratio.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	x := tensor.RandN(rng, 1, n, n)
+	y := tensor.RandN(rng, 1, n, n)
+	b.Run("serial", func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, y)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, y)
+		}
+	})
+}
+
+// BenchmarkRoundParallel measures the engine's worker-pool round scheduler
+// end to end: identical federated runs (Finetune on PACS, one task stage)
+// at Workers=1 (the sequential engine) versus Workers=NumCPU. Both settings
+// produce bit-identical accuracy matrices; only wall-clock may differ.
+func BenchmarkRoundParallel(b *testing.B) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fl.Config{
+		Rounds:            2,
+		Epochs:            1,
+		BatchSize:         8,
+		LR:                0.05,
+		InitialClients:    8,
+		SelectPerRound:    8,
+		ClientsPerTaskInc: 0,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    64,
+		TestPerDomain:     16,
+		EvalBatch:         16,
+		Seed:              benchSeed,
+	}
+	for _, setting := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d(max)", runtime.NumCPU()), 0},
+	} {
+		b.Run(setting.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := cfg
+				c.Workers = setting.workers
+				alg, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := fl.NewEngine(c, alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Run(family, family.Domains[:1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTableVIII regenerates Table VIII: the τ/τmin/γ/β sensitivity

@@ -34,6 +34,7 @@ func run() error {
 		scaleF  = flag.String("scale", "mini", "run scale (smoke, mini, paper)")
 		orderF  = flag.String("order", "A", "domain order (A = paper default, B = shuffled)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "concurrent clients per round (0 = all CPU cores, 1 = sequential; results are identical)")
 		quiet   = flag.Bool("quiet", false, "suppress per-task progress")
 	)
 	flag.Parse()
@@ -55,7 +56,13 @@ func run() error {
 		progress = nil
 	}
 
-	res, err := experiments.RunOne(*method, *dataset, scale, order, experiments.NoOverrides, *seed, progress)
+	if *workers < 0 {
+		return fmt.Errorf("workers must be non-negative, got %d", *workers)
+	}
+	ov := experiments.NoOverrides
+	ov.Workers = *workers
+
+	res, err := experiments.RunOne(*method, *dataset, scale, order, ov, *seed, progress)
 	if err != nil {
 		return err
 	}

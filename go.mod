@@ -1,0 +1,3 @@
+module reffil
+
+go 1.24

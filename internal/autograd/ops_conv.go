@@ -4,12 +4,26 @@ import (
 	"fmt"
 	"math"
 
+	"reffil/internal/parallel"
 	"reffil/internal/tensor"
 )
+
+// convChunkOps is the per-chunk work floor for parallel convolution: batch
+// images cheaper than this in aggregate stay on the calling goroutine.
+const convChunkOps = parallel.DefaultChunkOps
+
+// gwPartials caps how many weight-gradient partial accumulators Conv2D's
+// backward materializes at once. A fixed, machine-independent count keeps
+// the reduction order deterministic and bounds extra memory to
+// gwPartials*(outC*inC*kh*kw) floats regardless of batch size.
+const gwPartials = 8
 
 // Conv2D convolves x (B,C,H,W) with weights w (O,C,kh,kw) and optional bias
 // b (O,), using the given stride and zero padding. The forward pass uses
 // im2col + matmul; the per-sample column matrices are cached for backward.
+// Batch images are independent, so both passes fan the per-image im2col and
+// matmul work out over the batch axis; the weight gradient is reduced
+// serially in batch order to keep results bit-identical to serial execution.
 func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
 	if x.T.NDim() != 4 || w.T.NDim() != 4 {
 		return nil, fmt.Errorf("autograd: Conv2D wants 4-D x and w, got %v and %v", x.T.Shape(), w.T.Shape())
@@ -33,32 +47,64 @@ func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
 	out := tensor.New(bs, o, geom.OutH, geom.OutW)
 	cols := make([][]float64, bs)
 	imgLen := c * h * wd
-	for i := 0; i < bs; i++ {
-		cols[i] = make([]float64, k*p)
-		geom.Im2col(x.T.Data()[i*imgLen:(i+1)*imgLen], cols[i])
-		colT := tensor.FromSlice(cols[i], k, p)
-		res := tensor.MatMul(wMat, colT)
-		if b != nil {
-			rd := res.Data()
-			for ch := 0; ch < o; ch++ {
-				bv := b.T.Data()[ch]
-				row := rd[ch*p : (ch+1)*p]
-				for j := range row {
-					row[j] += bv
+	imgGrain := parallel.GrainForCost(2*o*k*p, convChunkOps)
+	parallel.For(bs, imgGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols[i] = make([]float64, k*p)
+			geom.Im2col(x.T.Data()[i*imgLen:(i+1)*imgLen], cols[i])
+			colT := tensor.FromSlice(cols[i], k, p)
+			res := tensor.MatMul(wMat, colT)
+			if b != nil {
+				rd := res.Data()
+				for ch := 0; ch < o; ch++ {
+					bv := b.T.Data()[ch]
+					row := rd[ch*p : (ch+1)*p]
+					for j := range row {
+						row[j] += bv
+					}
 				}
 			}
+			copy(out.Data()[i*o*p:(i+1)*o*p], res.Data())
 		}
-		copy(out.Data()[i*o*p:(i+1)*o*p], res.Data())
-	}
+	})
 
 	node := newNode(out, "conv2d", nil, x, w, b)
 	node.back = func() {
 		if w.requiresGrad {
-			gw := tensor.New(o, k)
-			for i := 0; i < bs; i++ {
-				dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
-				colT := tensor.FromSlice(cols[i], k, p)
-				gw.AddInPlace(tensor.MatMulT2(dOut, colT))
+			// Weight-gradient partials are accumulated over a fixed number
+			// of batch chunks computed concurrently, then reduced in chunk
+			// order. The chunk boundaries depend only on the batch size —
+			// never on worker availability — so the reduction order (and
+			// the result, bitwise) is identical at any parallelism, while
+			// peak extra memory stays bounded at gwPartials (o,k) tensors
+			// instead of one per image.
+			nChunks := gwPartials
+			if nChunks > bs {
+				nChunks = bs
+			}
+			if nChunks < 1 {
+				nChunks = 1
+			}
+			per := (bs + nChunks - 1) / nChunks
+			partials := make([]*tensor.Tensor, nChunks)
+			parallel.For(nChunks, 1, func(clo, chi int) {
+				for c := clo; c < chi; c++ {
+					acc := tensor.New(o, k)
+					hi := (c + 1) * per
+					if hi > bs {
+						hi = bs
+					}
+					for i := c * per; i < hi; i++ {
+						dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
+						colT := tensor.FromSlice(cols[i], k, p)
+						acc.AddInPlace(tensor.MatMulT2(dOut, colT))
+					}
+					partials[c] = acc
+				}
+			})
+			gw := partials[0]
+			for _, part := range partials[1:] {
+				gw.AddInPlace(part)
 			}
 			accumulate(w, gw.Reshape(w.T.Shape()...))
 		}
@@ -79,11 +125,13 @@ func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
 		}
 		if x.requiresGrad {
 			gx := tensor.New(x.T.Shape()...)
-			for i := 0; i < bs; i++ {
-				dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
-				dCols := tensor.MatMulT1(wMat, dOut) // (k,p)
-				geom.Col2im(dCols.Data(), gx.Data()[i*imgLen:(i+1)*imgLen])
-			}
+			parallel.For(bs, imgGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dOut := tensor.FromSlice(node.Grad.Data()[i*o*p:(i+1)*o*p], o, p)
+					dCols := tensor.MatMulT1(wMat, dOut) // (k,p)
+					geom.Col2im(dCols.Data(), gx.Data()[i*imgLen:(i+1)*imgLen])
+				}
+			})
 			accumulate(x, gx)
 		}
 	}

@@ -1,6 +1,9 @@
 package autograd
 
-import "reffil/internal/tensor"
+import (
+	"reffil/internal/parallel"
+	"reffil/internal/tensor"
+)
 
 // MatMul multiplies 2-D values: (m,k) x (k,n) -> (m,n).
 func MatMul(a, b *Value) *Value {
@@ -27,24 +30,29 @@ func BatchMatMul(a, b *Value) *Value {
 		bs := a.T.Dim(0)
 		m, k := a.T.Dim(1), a.T.Dim(2)
 		n := b.T.Dim(2)
+		grain := parallel.GrainForCost(2*m*k*n, parallel.DefaultChunkOps)
 		if a.requiresGrad {
 			ga := tensor.New(a.T.Shape()...)
-			for i := 0; i < bs; i++ {
-				dC := sliceBatch(node.Grad, i, m, n)
-				bi := sliceBatch(b.T, i, k, n)
-				gi := tensor.MatMulT2(dC, bi)
-				copy(ga.Data()[i*m*k:(i+1)*m*k], gi.Data())
-			}
+			parallel.For(bs, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dC := sliceBatch(node.Grad, i, m, n)
+					bi := sliceBatch(b.T, i, k, n)
+					gi := tensor.MatMulT2(dC, bi)
+					copy(ga.Data()[i*m*k:(i+1)*m*k], gi.Data())
+				}
+			})
 			accumulate(a, ga)
 		}
 		if b.requiresGrad {
 			gb := tensor.New(b.T.Shape()...)
-			for i := 0; i < bs; i++ {
-				dC := sliceBatch(node.Grad, i, m, n)
-				ai := sliceBatch(a.T, i, m, k)
-				gi := tensor.MatMulT1(ai, dC)
-				copy(gb.Data()[i*k*n:(i+1)*k*n], gi.Data())
-			}
+			parallel.For(bs, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dC := sliceBatch(node.Grad, i, m, n)
+					ai := sliceBatch(a.T, i, m, k)
+					gi := tensor.MatMulT1(ai, dC)
+					copy(gb.Data()[i*k*n:(i+1)*k*n], gi.Data())
+				}
+			})
 			accumulate(b, gb)
 		}
 	}

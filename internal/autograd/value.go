@@ -47,6 +47,12 @@ func Constant(t *tensor.Tensor) *Value { return NewLeaf(t, false) }
 // RequiresGrad reports whether gradients flow into this node.
 func (v *Value) RequiresGrad() bool { return v.requiresGrad }
 
+// CloneLeaf returns a fresh leaf holding a deep copy of the value's tensor,
+// preserving trainability. The clone shares no storage with the original and
+// carries no gradient or tape history — it is the building block for the
+// per-client model replicas of the federated engine's clone contract.
+func (v *Value) CloneLeaf() *Value { return NewLeaf(v.T.Clone(), v.requiresGrad) }
+
 // Shape returns the shape of the node's tensor.
 func (v *Value) Shape() []int { return v.T.Shape() }
 

@@ -19,7 +19,6 @@
 package baselines
 
 import (
-	"fmt"
 	"math/rand"
 
 	"reffil/internal/autograd"
@@ -94,6 +93,11 @@ func (f *Finetune) Name() string { return "Finetune" }
 // Global implements fl.Algorithm.
 func (f *Finetune) Global() nn.Module { return f.backbone }
 
+// Spawn implements fl.Algorithm: an isolated replica of the backbone.
+func (f *Finetune) Spawn() (fl.Algorithm, error) {
+	return &Finetune{backbone: f.backbone.Clone(), hyper: f.hyper}, nil
+}
+
 // OnTaskStart implements fl.Algorithm.
 func (f *Finetune) OnTaskStart(task int) error { return nil }
 
@@ -123,17 +127,3 @@ func (f *Finetune) Predict(x *tensor.Tensor) ([]int, error) {
 
 var _ fl.Algorithm = (*Finetune)(nil)
 
-// cloneBackbone builds a structurally identical backbone and transplants
-// the source's state into it (used for LwF teachers).
-func cloneBackbone(src *model.Backbone) (*model.Backbone, error) {
-	// The RNG only seeds initial weights, which are immediately
-	// overwritten by the state transplant.
-	dst, err := model.New(src.Cfg, rand.New(rand.NewSource(0)))
-	if err != nil {
-		return nil, err
-	}
-	if err := nn.LoadStateDict(dst, nn.StateDict(src)); err != nil {
-		return nil, fmt.Errorf("baselines: cloning backbone: %w", err)
-	}
-	return dst, nil
-}

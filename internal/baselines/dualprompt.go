@@ -90,6 +90,20 @@ func (f *FedDualPrompt) Name() string {
 // Global implements fl.Algorithm.
 func (f *FedDualPrompt) Global() nn.Module { return f }
 
+// Spawn implements fl.Algorithm: the General prompt and Expert pool are
+// trainable, so the replica deep-copies them along with the backbone.
+func (f *FedDualPrompt) Spawn() (fl.Algorithm, error) {
+	return &FedDualPrompt{
+		backbone:  f.backbone.Clone(),
+		hyper:     f.hyper,
+		general:   f.general.CloneLeaf(),
+		experts:   f.experts.clone(),
+		usePool:   f.usePool,
+		maxTasks:  f.maxTasks,
+		KeyLambda: f.KeyLambda,
+	}, nil
+}
+
 // Params implements nn.Module.
 func (f *FedDualPrompt) Params() []nn.Param {
 	ps := f.backbone.Params()

@@ -50,6 +50,20 @@ func (f *FedEWC) Name() string { return "FedEWC" }
 // Global implements fl.Algorithm.
 func (f *FedEWC) Global() nn.Module { return f.backbone }
 
+// Spawn implements fl.Algorithm. The consolidated Fisher and anchor maps
+// are shared by reference: local training only reads them, and they change
+// only in OnTaskEnd, which runs serially between rounds.
+func (f *FedEWC) Spawn() (fl.Algorithm, error) {
+	return &FedEWC{
+		backbone:      f.backbone.Clone(),
+		hyper:         f.hyper,
+		Lambda:        f.Lambda,
+		FisherBatches: f.FisherBatches,
+		fisher:        f.fisher,
+		ref:           f.ref,
+	}, nil
+}
+
 // OnTaskStart implements fl.Algorithm.
 func (f *FedEWC) OnTaskStart(task int) error { return nil }
 

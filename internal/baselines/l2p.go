@@ -88,6 +88,25 @@ func (f *FedL2P) Name() string {
 // Global implements fl.Algorithm.
 func (f *FedL2P) Global() nn.Module { return f }
 
+// Spawn implements fl.Algorithm: backbone and prompt state (shared prompt
+// or pool) are all trainable, so the replica deep-copies everything.
+func (f *FedL2P) Spawn() (fl.Algorithm, error) {
+	rep := &FedL2P{
+		backbone:  f.backbone.Clone(),
+		hyper:     f.hyper,
+		usePool:   f.usePool,
+		TopN:      f.TopN,
+		KeyLambda: f.KeyLambda,
+		lp:        f.lp,
+	}
+	if f.usePool {
+		rep.pool = f.pool.clone()
+	} else {
+		rep.shared = f.shared.CloneLeaf()
+	}
+	return rep, nil
+}
+
 // Params implements nn.Module: backbone plus prompt state.
 func (f *FedL2P) Params() []nn.Param {
 	ps := f.backbone.Params()

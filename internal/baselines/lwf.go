@@ -40,17 +40,26 @@ func (f *FedLwF) Name() string { return "FedLwF" }
 // Global implements fl.Algorithm.
 func (f *FedLwF) Global() nn.Module { return f.backbone }
 
+// Spawn implements fl.Algorithm. The teacher is shared by reference: it is
+// frozen for the whole task stage and its eval-mode forward pass mutates
+// nothing, so concurrent replicas can distill from the same instance.
+func (f *FedLwF) Spawn() (fl.Algorithm, error) {
+	return &FedLwF{
+		backbone:    f.backbone.Clone(),
+		teacher:     f.teacher,
+		hyper:       f.hyper,
+		Temperature: f.Temperature,
+		Lambda:      f.Lambda,
+	}, nil
+}
+
 // OnTaskStart implements fl.Algorithm: snapshot the global model as the
 // distillation teacher before any new-domain training overwrites it.
 func (f *FedLwF) OnTaskStart(task int) error {
 	if task == 0 {
 		return nil
 	}
-	t, err := cloneBackbone(f.backbone)
-	if err != nil {
-		return err
-	}
-	f.teacher = t
+	f.teacher = f.backbone.Clone()
 	return nil
 }
 

@@ -39,6 +39,19 @@ func newPromptPool(name string, rng *rand.Rand, slots, lp, dim int) (*promptPool
 	}, nil
 }
 
+// clone returns a deep copy sharing no tensors with p, for per-client
+// replicas of pool-based methods.
+func (p *promptPool) clone() *promptPool {
+	return &promptPool{
+		name:  p.name,
+		pool:  p.pool.CloneLeaf(),
+		keys:  p.keys.CloneLeaf(),
+		slots: p.slots,
+		lp:    p.lp,
+		dim:   p.dim,
+	}
+}
+
 // meanPatchQuery computes the per-sample query feature: the mean of the
 // patch tokens (excluding CLS), detached from the graph as in L2P, where
 // the query comes from a frozen feature path.

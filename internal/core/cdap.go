@@ -62,6 +62,22 @@ func NewCDAP(name string, rng *rand.Rand, tokens, dim, promptLen, hidden, keyDim
 	}, nil
 }
 
+// Clone returns a deep copy sharing no tensors with g, for per-client
+// replicas of the prompt generator.
+func (g *CDAP) Clone() *CDAP {
+	return &CDAP{
+		ln:        g.ln.Clone(),
+		mlp:       g.mlp.Clone(),
+		ccda:      g.ccda.Clone(),
+		keys:      g.keys.CloneLeaf(),
+		phi:       g.phi.Clone(),
+		tokens:    g.tokens,
+		promptLen: g.promptLen,
+		dim:       g.dim,
+		maxTasks:  g.maxTasks,
+	}
+}
+
 // PromptLen returns p, the number of generated prompt tokens.
 func (g *CDAP) PromptLen() int { return g.promptLen }
 

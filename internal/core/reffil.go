@@ -160,6 +160,24 @@ func (r *RefFiL) Global() nn.Module {
 // Bank exposes the server's clustered global prompts (for tests and tools).
 func (r *RefFiL) Bank() *PromptBank { return r.bank }
 
+// Spawn implements fl.Algorithm: the backbone and CDAP generator are
+// deep-copied so concurrent clients train independent replicas, while the
+// server's prompt bank is shared by reference — local training only reads
+// it (Flatten, MeanPerClass) and it changes only in ServerRound, which runs
+// serially after all replicas have finished.
+func (r *RefFiL) Spawn() (fl.Algorithm, error) {
+	rep := &RefFiL{
+		cfg:      r.cfg,
+		backbone: r.backbone.Clone(),
+		bank:     r.bank,
+		curTask:  r.curTask,
+	}
+	if r.gen != nil {
+		rep.gen = r.gen.Clone()
+	}
+	return rep, nil
+}
+
 // OnTaskStart implements fl.Algorithm.
 func (r *RefFiL) OnTaskStart(task int) error {
 	if r.gen != nil && task >= r.cfg.MaxTasks {

@@ -51,11 +51,17 @@ type Overrides struct {
 	SelectPerRound    int
 	ClientsPerTaskInc int
 	TransferFrac      float64 // <0 means "keep default"
+	// Workers caps concurrent client training per round; 0 keeps the
+	// engine default (NumCPU). Results are identical at any setting.
+	Workers int
 }
 
 func (ov Overrides) apply(cfg *fl.Config) {
 	if ov.InitialClients > 0 {
 		cfg.InitialClients = ov.InitialClients
+	}
+	if ov.Workers > 0 {
+		cfg.Workers = ov.Workers
 	}
 	if ov.SelectPerRound > 0 {
 		cfg.SelectPerRound = ov.SelectPerRound

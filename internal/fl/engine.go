@@ -3,10 +3,14 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"reffil/internal/data"
 	"reffil/internal/metrics"
 	"reffil/internal/nn"
+	"reffil/internal/parallel"
 	"reffil/internal/tensor"
 )
 
@@ -68,26 +72,40 @@ type Upload interface{}
 // Algorithm is one federated continual-learning method. The engine owns the
 // federation mechanics; the algorithm owns the model and losses.
 //
-// The engine drives it as: LoadStateDict(Global(), globalDict) before each
-// client; LocalTrain mutates Global()'s parameters in place and returns the
-// method payload; the engine snapshots the mutated state as that client's
-// update and restores the global before the next client.
+// The contract is clone-based so that clients of one round can train
+// concurrently: the engine calls Spawn once per participating client to
+// obtain an isolated replica of the current global model, calls LocalTrain
+// on that replica (possibly on another goroutine), and reads the replica's
+// trained state back through StateDict(replica.Global()) as the client's
+// update. The parent algorithm's Global() is never touched between the
+// broadcast (implicit in Spawn) and aggregation, eliminating the old
+// broadcast/train/snapshot/restore choreography.
 type Algorithm interface {
 	// Name identifies the method in reports.
 	Name() string
 	// Global returns the module holding all aggregated state.
 	Global() nn.Module
+	// Spawn returns an isolated per-client replica: its Global() must share
+	// no tensors with the parent's (or any other replica's), holding a deep
+	// copy of the current global state. Read-only server-side state — frozen
+	// distillation teachers, Fisher anchors, the clustered prompt bank —
+	// may be shared by reference, since nothing mutates it during a round.
+	// Spawn must be safe to call concurrently with other Spawn calls and
+	// with LocalTrain running on previously spawned replicas.
+	Spawn() (Algorithm, error)
 	// OnTaskStart runs before the first round of a task stage (e.g. LwF
 	// snapshots the previous global model as the distillation teacher).
 	OnTaskStart(task int) error
 	// OnTaskEnd runs after the last round of a task stage with a sample of
 	// the stage's training data (e.g. EWC consolidates Fisher information).
 	OnTaskEnd(task int, sample *data.Dataset) error
-	// LocalTrain performs one client's local epochs, mutating Global()'s
-	// parameters in place.
+	// LocalTrain performs one client's local epochs, mutating the
+	// receiver's own Global() parameters in place. The engine always calls
+	// it on a Spawn replica; standalone federation workers (cmd/fedworker)
+	// call it directly on their local instance.
 	LocalTrain(ctx *LocalContext) (Upload, error)
 	// ServerRound processes the round's uploads after FedAvg (RefFiL:
-	// FINCH prompt clustering, Eq. 7-8).
+	// FINCH prompt clustering, Eq. 7-8). Runs serially on the parent.
 	ServerRound(task, round int, uploads []Upload) error
 	// Predict classifies a batch with the current global model.
 	Predict(x *tensor.Tensor) ([]int, error)
@@ -122,6 +140,13 @@ type Config struct {
 	DropoutProb float64
 	// Seed drives all engine-level randomness.
 	Seed int64
+	// Workers caps how many selected clients train concurrently within one
+	// communication round. 0 means runtime.NumCPU(); 1 reproduces the
+	// sequential engine. Results are identical at every worker count: all
+	// engine randomness is drawn before the fan-out, each client trains an
+	// isolated replica under its own seeded RNG, and updates aggregate in
+	// selection order.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -151,6 +176,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: eval batch must be positive, got %d", c.EvalBatch)
 	case c.DropoutProb < 0 || c.DropoutProb >= 1:
 		return fmt.Errorf("fl: dropout probability must be in [0,1), got %v", c.DropoutProb)
+	case c.Workers < 0:
+		return fmt.Errorf("fl: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -301,18 +328,36 @@ func (e *Engine) advanceClients(t int, train *data.Dataset) error {
 	return nil
 }
 
+// localJob is one client's unit of work for the round scheduler: everything
+// needed to train an isolated replica, fixed before the fan-out.
+type localJob struct {
+	ctx    *LocalContext
+	weight float64
+}
+
+// localResult is what a worker hands back: the replica's trained state dict
+// (the client's FedAvg payload) and the method upload.
+type localResult struct {
+	dict   map[string]*tensor.Tensor
+	upload Upload
+}
+
 // runRound performs one communication round of Algorithm 1: random
-// selection, local training from the broadcast global state, FedAvg, and
-// the method's server-side hook.
+// selection, concurrent local training on isolated model replicas, FedAvg
+// in selection order, and the method's server-side hook.
+//
+// Determinism at any worker count rests on three invariants: every draw on
+// the engine RNG (selection, dropout) happens before the fan-out, in
+// selection order; each client trains a Spawn replica under its own
+// deterministically seeded RNG, touching no shared mutable state; and
+// aggregation consumes updates in selection order regardless of which
+// worker finished first.
 func (e *Engine) runRound(t, r int) error {
 	selected := e.selectClients()
-	globalDict := nn.StateDict(e.alg.Global())
 
-	var (
-		dicts   []map[string]*tensor.Tensor
-		weights []float64
-		uploads []Upload
-	)
+	// Phase 1 (serial): fix the round's participant set and all per-client
+	// inputs. The global model is only read here, never written.
+	jobs := make([]localJob, 0, len(selected))
 	for _, c := range selected {
 		ds := e.clientData(c)
 		if ds == nil || ds.Len() == 0 {
@@ -321,36 +366,43 @@ func (e *Engine) runRound(t, r int) error {
 		if e.cfg.DropoutProb > 0 && e.rng.Float64() < e.cfg.DropoutProb {
 			continue // client failed to report back this round
 		}
-		if err := nn.LoadStateDict(e.alg.Global(), globalDict); err != nil {
-			return fmt.Errorf("fl: broadcasting to client %d: %w", c.id, err)
-		}
-		ctx := &LocalContext{
-			ClientID:   c.id,
-			Task:       t,
-			ClientTask: c.task,
-			Group:      c.group,
-			Data:       ds,
-			Epochs:     e.cfg.Epochs,
-			BatchSize:  e.cfg.BatchSize,
-			LR:         e.cfg.LR,
-			Rng:        rand.New(rand.NewSource(e.cfg.Seed ^ int64(c.id)<<20 ^ int64(t)<<10 ^ int64(r))),
-		}
-		up, err := e.alg.LocalTrain(ctx)
-		if err != nil {
-			return fmt.Errorf("fl: client %d local training: %w", c.id, err)
-		}
-		dicts = append(dicts, nn.StateDict(e.alg.Global()))
-		weights = append(weights, float64(ds.Len()))
-		if up != nil {
-			uploads = append(uploads, up)
-		}
+		jobs = append(jobs, localJob{
+			ctx: &LocalContext{
+				ClientID:   c.id,
+				Task:       t,
+				ClientTask: c.task,
+				Group:      c.group,
+				Data:       ds,
+				Epochs:     e.cfg.Epochs,
+				BatchSize:  e.cfg.BatchSize,
+				LR:         e.cfg.LR,
+				Rng:        rand.New(rand.NewSource(e.cfg.Seed ^ int64(c.id)<<20 ^ int64(t)<<10 ^ int64(r))),
+			},
+			weight: float64(ds.Len()),
+		})
 	}
-	if len(dicts) == 0 {
-		// Every selected client dropped out: keep the old global.
-		if err := nn.LoadStateDict(e.alg.Global(), globalDict); err != nil {
-			return err
-		}
+	if len(jobs) == 0 {
+		// Every selected client dropped out: the global was never mutated,
+		// so there is nothing to restore.
 		return nil
+	}
+
+	// Phase 2 (parallel): train each participant on its own replica.
+	results := make([]localResult, len(jobs))
+	if err := e.trainClients(jobs, results); err != nil {
+		return err
+	}
+
+	// Phase 3 (serial): aggregate in selection order and run server hooks.
+	dicts := make([]map[string]*tensor.Tensor, len(results))
+	weights := make([]float64, len(jobs))
+	var uploads []Upload
+	for i, res := range results {
+		dicts[i] = res.dict
+		weights[i] = jobs[i].weight
+		if res.upload != nil {
+			uploads = append(uploads, res.upload)
+		}
 	}
 	avg, err := WeightedAverage(dicts, weights)
 	if err != nil {
@@ -363,6 +415,79 @@ func (e *Engine) runRound(t, r int) error {
 		return fmt.Errorf("fl: %s ServerRound: %w", e.alg.Name(), err)
 	}
 	return nil
+}
+
+// trainClients runs every job on an isolated Spawn replica, fanning out
+// across the configured worker pool, and fills results[i] with job i's
+// trained state. The first error wins; remaining jobs are drained.
+func (e *Engine) trainClients(jobs []localJob, results []localResult) error {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runJob := func(i int) error {
+		job := jobs[i]
+		rep, err := e.alg.Spawn()
+		if err != nil {
+			return fmt.Errorf("fl: spawning replica for client %d: %w", job.ctx.ClientID, err)
+		}
+		up, err := rep.LocalTrain(job.ctx)
+		if err != nil {
+			return fmt.Errorf("fl: client %d local training: %w", job.ctx.ClientID, err)
+		}
+		results[i] = localResult{dict: nn.StateDict(rep.Global()), upload: up}
+		return nil
+	}
+
+	if workers == 1 {
+		for i := range jobs {
+			if err := runJob(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Reserve kernel-helper tokens for the engine workers so the matmul/conv
+	// fan-out inside each client's training cannot oversubscribe the machine:
+	// total compute goroutines stay bounded by the processor count.
+	reserved := parallel.Reserve(workers - 1)
+	defer parallel.Release(reserved)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Once any client fails the round is lost; drain the
+				// remaining jobs without paying for their local epochs.
+				if failed.Load() {
+					continue
+				}
+				if err := runJob(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
 }
 
 // selectClients samples min(SelectPerRound, pool) distinct participants.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"reffil/internal/autograd"
@@ -70,11 +71,10 @@ func TestWeightedAverageErrors(t *testing.T) {
 	}
 }
 
-// fakeAlg is a minimal Algorithm for engine-mechanics tests: a single
-// scalar parameter that local training increments by 1, and predictions
-// that are always class 0.
-type fakeAlg struct {
-	w          *autograd.Value
+// fakeStats aggregates observations across a fake algorithm and all of its
+// Spawn replicas. Replicas may train concurrently, so access is locked.
+type fakeStats struct {
+	mu         sync.Mutex
 	trainCalls int
 	taskStarts []int
 	taskEnds   []int
@@ -83,10 +83,18 @@ type fakeAlg struct {
 	groupsSeen map[Group]int
 }
 
+// fakeAlg is a minimal Algorithm for engine-mechanics tests: a single
+// scalar parameter that local training increments by 1, and predictions
+// that are always class 0. Replicas share the parent's stats recorder.
+type fakeAlg struct {
+	w     *autograd.Value
+	stats *fakeStats
+}
+
 func newFakeAlg() *fakeAlg {
 	return &fakeAlg{
-		w:          autograd.Param(tensor.New(1)),
-		groupsSeen: make(map[Group]int),
+		w:     autograd.Param(tensor.New(1)),
+		stats: &fakeStats{groupsSeen: make(map[Group]int)},
 	}
 }
 
@@ -98,31 +106,37 @@ func (f *fakeAlg) Params() []nn.Param { return []nn.Param{{Name: "w", Value: f.w
 
 func (f *fakeAlg) Buffers() []nn.Buffer { return nil }
 
+func (f *fakeAlg) Spawn() (Algorithm, error) {
+	return &fakeAlg{w: f.w.CloneLeaf(), stats: f.stats}, nil
+}
+
 func (f *fakeAlg) OnTaskStart(task int) error {
-	f.taskStarts = append(f.taskStarts, task)
+	f.stats.taskStarts = append(f.stats.taskStarts, task)
 	return nil
 }
 
 func (f *fakeAlg) OnTaskEnd(task int, sample *data.Dataset) error {
-	f.taskEnds = append(f.taskEnds, task)
+	f.stats.taskEnds = append(f.stats.taskEnds, task)
 	return nil
 }
 
 func (f *fakeAlg) LocalTrain(ctx *LocalContext) (Upload, error) {
-	f.trainCalls++
-	f.groupsSeen[ctx.Group]++
+	f.stats.mu.Lock()
+	f.stats.trainCalls++
+	f.stats.groupsSeen[ctx.Group]++
+	f.stats.mu.Unlock()
 	f.w.T.Data()[0]++
 	return ctx.ClientID, nil
 }
 
 func (f *fakeAlg) ServerRound(task, round int, uploads []Upload) error {
-	f.rounds++
+	f.stats.rounds++
 	for _, u := range uploads {
 		id, ok := u.(int)
 		if !ok {
 			return fmt.Errorf("unexpected upload type %T", u)
 		}
-		f.uploads = append(f.uploads, id)
+		f.stats.uploads = append(f.stats.uploads, id)
 	}
 	return nil
 }
@@ -169,6 +183,7 @@ func TestConfigValidate(t *testing.T) {
 		{"transfer", func(c *Config) { c.TransferFrac = 1.5 }},
 		{"alpha", func(c *Config) { c.Alpha = -1 }},
 		{"dropout", func(c *Config) { c.DropoutProb = 1 }},
+		{"workers", func(c *Config) { c.Workers = -1 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -197,13 +212,13 @@ func TestEngineRunMechanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Hooks fired once per task, in order.
-	if len(alg.taskStarts) != 3 || len(alg.taskEnds) != 3 {
-		t.Fatalf("task hooks: starts=%v ends=%v", alg.taskStarts, alg.taskEnds)
+	if len(alg.stats.taskStarts) != 3 || len(alg.stats.taskEnds) != 3 {
+		t.Fatalf("task hooks: starts=%v ends=%v", alg.stats.taskStarts, alg.stats.taskEnds)
 	}
 	// Server rounds: Rounds per task unless every client dropped (no
 	// dropout configured).
-	if alg.rounds != 2*3 {
-		t.Fatalf("server rounds = %d, want 6", alg.rounds)
+	if alg.stats.rounds != 2*3 {
+		t.Fatalf("server rounds = %d, want 6", alg.stats.rounds)
 	}
 	// Pool grows by ClientsPerTaskInc per new task.
 	if got := eng.PoolSize(); got != 6+2*2 {
@@ -235,7 +250,7 @@ func TestEngineClientGroups(t *testing.T) {
 		t.Fatalf("groups Uo=%d Ub=%d Un=%d, want 2/4/2", old, between, newC)
 	}
 	// All three groups must have been seen in training.
-	if alg.groupsSeen[GroupNew] == 0 {
+	if alg.stats.groupsSeen[GroupNew] == 0 {
 		t.Fatal("no New-group client ever trained")
 	}
 }
@@ -254,12 +269,79 @@ func TestEngineDeterministicAcrossRuns(t *testing.T) {
 		if _, err := eng.Run(family, family.Domains[:2]); err != nil {
 			t.Fatal(err)
 		}
-		return alg.w.T.At(0), alg.trainCalls
+		return alg.w.T.At(0), alg.stats.trainCalls
 	}
 	w1, c1 := run()
 	w2, c2 := run()
 	if w1 != w2 || c1 != c2 {
 		t.Fatalf("non-deterministic engine: (%v,%d) vs (%v,%d)", w1, c1, w2, c2)
+	}
+}
+
+// TestEngineWorkersMatchSequential drives the engine mechanics (selection,
+// dropout, replica spawning, aggregation order) at several worker counts
+// and requires identical outcomes: same aggregated weight, same training
+// calls, same upload stream. Real-model equivalence is covered by the
+// heavier determinism test in engine_parallel_test.go.
+func TestEngineWorkersMatchSequential(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int, dropout float64) (float64, int, []int) {
+		cfg := smallConfig()
+		cfg.Rounds = 3
+		cfg.Workers = workers
+		cfg.DropoutProb = dropout
+		alg := newFakeAlg()
+		eng, err := NewEngine(cfg, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(family, family.Domains[:2]); err != nil {
+			t.Fatal(err)
+		}
+		return alg.w.T.At(0), alg.stats.trainCalls, alg.stats.uploads
+	}
+	for _, dropout := range []float64{0, 0.3} {
+		w1, c1, u1 := run(1, dropout)
+		for _, workers := range []int{2, 4, 0} {
+			w, c, u := run(workers, dropout)
+			if w != w1 || c != c1 {
+				t.Fatalf("dropout=%v workers=%d: (w=%v calls=%d) vs sequential (w=%v calls=%d)",
+					dropout, workers, w, c, w1, c1)
+			}
+			if len(u) != len(u1) {
+				t.Fatalf("dropout=%v workers=%d: %d uploads vs %d sequential", dropout, workers, len(u), len(u1))
+			}
+			for i := range u {
+				if u[i] != u1[i] {
+					t.Fatalf("dropout=%v workers=%d: upload order %v vs sequential %v", dropout, workers, u, u1)
+				}
+			}
+		}
+	}
+}
+
+// TestSpawnReplicaIsIsolated checks the clone contract directly: training a
+// replica must not move the parent's parameters.
+func TestSpawnReplicaIsIsolated(t *testing.T) {
+	parent := newFakeAlg()
+	parent.w.T.Data()[0] = 7
+	repAlg, err := parent.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repAlg.(*fakeAlg)
+	if rep.w == parent.w || rep.w.T == parent.w.T {
+		t.Fatal("replica shares the parent's parameter")
+	}
+	if rep.w.T.At(0) != 7 {
+		t.Fatalf("replica starts at %v, want the parent's 7", rep.w.T.At(0))
+	}
+	rep.w.T.Data()[0] = 99
+	if parent.w.T.At(0) != 7 {
+		t.Fatal("training the replica mutated the parent")
 	}
 }
 
@@ -302,17 +384,24 @@ func TestEngineDropoutSkipsClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	max := cfg.Rounds * cfg.SelectPerRound
-	if alg.trainCalls >= max {
-		t.Fatalf("dropout never skipped a client: %d calls of max %d", alg.trainCalls, max)
+	if alg.stats.trainCalls >= max {
+		t.Fatalf("dropout never skipped a client: %d calls of max %d", alg.stats.trainCalls, max)
 	}
-	if alg.trainCalls == 0 {
+	if alg.stats.trainCalls == 0 {
 		t.Fatal("dropout skipped every client at p=0.5")
 	}
 }
 
 // recordingAlg extends fakeAlg to capture the datasets clients trained on.
+// The context log is shared across Spawn replicas under a lock, mirroring
+// how real methods share read-only server state.
 type recordingAlg struct {
 	fakeAlg
+	rec *contextLog
+}
+
+type contextLog struct {
+	mu       sync.Mutex
 	contexts []capturedCtx
 }
 
@@ -324,18 +413,32 @@ type capturedCtx struct {
 	tasksSeen  map[int]bool
 }
 
+func newRecordingAlg() *recordingAlg {
+	return &recordingAlg{fakeAlg: *newFakeAlg(), rec: &contextLog{}}
+}
+
+func (r *recordingAlg) Spawn() (Algorithm, error) {
+	base, err := r.fakeAlg.Spawn()
+	if err != nil {
+		return nil, err
+	}
+	return &recordingAlg{fakeAlg: *base.(*fakeAlg), rec: r.rec}, nil
+}
+
 func (r *recordingAlg) LocalTrain(ctx *LocalContext) (Upload, error) {
 	seen := make(map[int]bool)
 	for _, ex := range ctx.Data.Examples {
 		seen[ex.Task] = true
 	}
-	r.contexts = append(r.contexts, capturedCtx{
+	r.rec.mu.Lock()
+	r.rec.contexts = append(r.rec.contexts, capturedCtx{
 		group:      ctx.Group,
 		clientTask: ctx.ClientTask,
 		task:       ctx.Task,
 		size:       ctx.Data.Len(),
 		tasksSeen:  seen,
 	})
+	r.rec.mu.Unlock()
 	return r.fakeAlg.LocalTrain(ctx)
 }
 
@@ -344,7 +447,7 @@ func TestInBetweenClientsSeeBothTasks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := &recordingAlg{fakeAlg: *newFakeAlg()}
+	alg := newRecordingAlg()
 	cfg := smallConfig()
 	cfg.Rounds = 4
 	cfg.SelectPerRound = 6
@@ -356,7 +459,7 @@ func TestInBetweenClientsSeeBothTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 	sawBetween := false
-	for _, c := range alg.contexts {
+	for _, c := range alg.rec.contexts {
 		switch c.group {
 		case GroupInBetween:
 			sawBetween = true
@@ -386,7 +489,7 @@ func TestEngineTaskTagsMatchShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := &recordingAlg{fakeAlg: *newFakeAlg()}
+	alg := newRecordingAlg()
 	eng, err := NewEngine(smallConfig(), alg)
 	if err != nil {
 		t.Fatal(err)
@@ -394,7 +497,7 @@ func TestEngineTaskTagsMatchShards(t *testing.T) {
 	if _, err := eng.Run(family, family.Domains[:3]); err != nil {
 		t.Fatal(err)
 	}
-	for _, c := range alg.contexts {
+	for _, c := range alg.rec.contexts {
 		for task := range c.tasksSeen {
 			if task < 0 || task > c.task {
 				t.Fatalf("client saw data tagged task %d during stage %d", task, c.task)

@@ -101,6 +101,22 @@ func New(cfg Config, rng *rand.Rand) (*Backbone, error) {
 	}, nil
 }
 
+// Clone returns a structurally identical backbone whose parameters and
+// buffers share no tensors with b — the per-client model replica of the
+// engine's clone contract. It is much cheaper than rebuilding via New plus a
+// state-dict transplant: no weight re-initialization, one copy per tensor.
+func (b *Backbone) Clone() *Backbone {
+	return &Backbone{
+		Cfg:        b.Cfg,
+		Extractor:  b.Extractor.Clone(),
+		Tokenizer:  b.Tokenizer.Clone(),
+		CLS:        b.CLS.CloneLeaf(),
+		Attn:       b.Attn.Clone(),
+		Classifier: b.Classifier.Clone(),
+		NumPatches: b.NumPatches,
+	}
+}
+
 // Tokens computes the paper's Eq. 1 token sequence I = [CLS; PT_1..PT_n]
 // for a batch x (B,3,S,S), returning (B, n+1, d) with CLS at index 0.
 func (b *Backbone) Tokens(ctx *nn.Ctx, x *autograd.Value) (*autograd.Value, error) {

@@ -33,6 +33,19 @@ func NewMHSA(name string, rng *rand.Rand, dim, heads int) (*MultiHeadSelfAttenti
 	}, nil
 }
 
+// Clone returns a deep copy sharing no tensors with m.
+func (m *MultiHeadSelfAttention) Clone() *MultiHeadSelfAttention {
+	return &MultiHeadSelfAttention{
+		name:  m.name,
+		wq:    m.wq.Clone(),
+		wk:    m.wk.Clone(),
+		wv:    m.wv.Clone(),
+		wo:    m.wo.Clone(),
+		heads: m.heads,
+		dim:   m.dim,
+	}
+}
+
 // splitHeads reshapes (B,n,d) into (B*h, n, d/h).
 func (m *MultiHeadSelfAttention) splitHeads(x *autograd.Value, b, n int) *autograd.Value {
 	dh := m.dim / m.heads
@@ -98,6 +111,11 @@ func NewAttentionBlock(name string, rng *rand.Rand, dim, heads int) (*AttentionB
 		mlp:  NewMLP(name+".mlp", rng, dim, dim*2, dim),
 		ln2:  NewLayerNorm(name+".ln2", dim),
 	}, nil
+}
+
+// Clone returns a deep copy sharing no tensors with a.
+func (a *AttentionBlock) Clone() *AttentionBlock {
+	return &AttentionBlock{attn: a.attn.Clone(), ln1: a.ln1.Clone(), mlp: a.mlp.Clone(), ln2: a.ln2.Clone()}
 }
 
 // Forward applies the block to x (B,n,d).

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCloneSharesNoTensors verifies the deep-clone contract on the layer
+// stack the backbone is assembled from: the clone starts bit-identical and
+// stays untouched when the original's parameters and buffers move.
+func TestCloneSharesNoTensors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	attn, err := NewAttentionBlock("attn", rng, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		original Module
+		clone    func() Module
+	}{
+		{"linear", NewLinear("fc", rng, 4, 3, true), nil},
+		{"mlp", NewMLP("mlp", rng, 4, 6, 2), nil},
+		{"conv", NewConv2d("conv", rng, 3, 4, 3, 1, 1, true), nil},
+		{"batchnorm", NewBatchNorm2d("bn", 4), nil},
+		{"layernorm", NewLayerNorm("ln", 8), nil},
+		{"attention", attn, nil},
+		{"resnet10", NewResNet10("res", rng, 2), nil},
+		{"patchembed", NewPatchEmbed("tok", rng, 4, 8, 9), nil},
+	}
+	cases[0].clone = func() Module { return cases[0].original.(*Linear).Clone() }
+	cases[1].clone = func() Module { return cases[1].original.(*MLP).Clone() }
+	cases[2].clone = func() Module { return cases[2].original.(*Conv2d).Clone() }
+	cases[3].clone = func() Module { return cases[3].original.(*BatchNorm2d).Clone() }
+	cases[4].clone = func() Module { return cases[4].original.(*LayerNorm).Clone() }
+	cases[5].clone = func() Module { return cases[5].original.(*AttentionBlock).Clone() }
+	cases[6].clone = func() Module { return cases[6].original.(*ResNet10).Clone() }
+	cases[7].clone = func() Module { return cases[7].original.(*PatchEmbed).Clone() }
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clone := tc.clone()
+			origDict := StateDict(tc.original)
+			cloneDict := StateDict(clone)
+			if len(origDict) != len(cloneDict) {
+				t.Fatalf("clone has %d state entries, original %d", len(cloneDict), len(origDict))
+			}
+			for name, v := range origDict {
+				cv, ok := cloneDict[name]
+				if !ok {
+					t.Fatalf("clone missing entry %q", name)
+				}
+				if !cv.AllClose(v, 0) {
+					t.Fatalf("clone entry %q differs from original", name)
+				}
+			}
+			// Shift every original tensor; the clone must not move.
+			for _, p := range tc.original.Params() {
+				p.Value.T.Data()[0] += 100
+			}
+			for _, b := range tc.original.Buffers() {
+				b.T.Data()[0] += 100
+			}
+			after := StateDict(clone)
+			for name, v := range cloneDict {
+				if !after[name].AllClose(v, 0) {
+					t.Fatalf("mutating the original moved clone entry %q: storage is shared", name)
+				}
+			}
+		})
+	}
+}
+
+// TestCloneKeepsFrozenLayersFrozen guards the PatchEmbed invariant: the
+// tokenizer's projection must stay a buffer (non-trainable) after cloning,
+// or replicas would start training the frozen tokenizer.
+func TestCloneKeepsFrozenLayersFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewPatchEmbed("tok", rng, 4, 8, 9)
+	c := p.Clone()
+	if len(c.Params()) != 0 {
+		t.Fatalf("cloned tokenizer exposes %d trainable params, want 0", len(c.Params()))
+	}
+	if len(c.Buffers()) != len(p.Buffers()) {
+		t.Fatalf("cloned tokenizer has %d buffers, want %d", len(c.Buffers()), len(p.Buffers()))
+	}
+}

@@ -31,6 +31,15 @@ func NewConv2d(name string, rng *rand.Rand, inC, outC, kernel, stride, pad int, 
 	return c
 }
 
+// Clone returns a deep copy sharing no tensors with c.
+func (c *Conv2d) Clone() *Conv2d {
+	out := &Conv2d{name: c.name, W: c.W.CloneLeaf(), Stride: c.Stride, Pad: c.Pad}
+	if c.B != nil {
+		out.B = c.B.CloneLeaf()
+	}
+	return out
+}
+
 // Forward convolves x (B,C,H,W).
 func (c *Conv2d) Forward(x *autograd.Value) (*autograd.Value, error) {
 	out, err := autograd.Conv2D(x, c.W, c.B, c.Stride, c.Pad)
@@ -72,6 +81,23 @@ func NewBatchNorm2d(name string, c int) *BatchNorm2d {
 			Var:      tensor.Ones(c),
 			Momentum: 0.1,
 			Eps:      1e-5,
+		},
+	}
+}
+
+// Clone returns a deep copy sharing no tensors with b, including the
+// running statistics (each model replica tracks its own batch statistics
+// during local training; FedAvg reconciles them as buffers).
+func (b *BatchNorm2d) Clone() *BatchNorm2d {
+	return &BatchNorm2d{
+		name:  b.name,
+		Gamma: b.Gamma.CloneLeaf(),
+		Beta:  b.Beta.CloneLeaf(),
+		Stats: &autograd.BatchNormStats{
+			Mean:     b.Stats.Mean.Clone(),
+			Var:      b.Stats.Var.Clone(),
+			Momentum: b.Stats.Momentum,
+			Eps:      b.Stats.Eps,
 		},
 	}
 }
@@ -118,6 +144,11 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 		Beta:  autograd.Param(tensor.New(d)),
 		Eps:   1e-5,
 	}
+}
+
+// Clone returns a deep copy sharing no tensors with l.
+func (l *LayerNorm) Clone() *LayerNorm {
+	return &LayerNorm{name: l.name, Gamma: l.Gamma.CloneLeaf(), Beta: l.Beta.CloneLeaf(), Eps: l.Eps}
 }
 
 // Forward normalizes x over its last axis.

@@ -49,6 +49,16 @@ func (l *Linear) Freeze() {
 	}
 }
 
+// Clone returns a deep copy sharing no tensors with l. Frozen layers stay
+// frozen.
+func (l *Linear) Clone() *Linear {
+	c := &Linear{name: l.name, W: l.W.CloneLeaf()}
+	if l.B != nil {
+		c.B = l.B.CloneLeaf()
+	}
+	return c
+}
+
 // Forward applies the layer to x, whose last dimension must equal the
 // input width. Higher-rank inputs are flattened over leading dims.
 func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
@@ -101,6 +111,11 @@ func NewMLP(name string, rng *rand.Rand, in, hidden, out int) *MLP {
 		fc1: NewLinear(name+".fc1", rng, in, hidden, true),
 		fc2: NewLinear(name+".fc2", rng, hidden, out, true),
 	}
+}
+
+// Clone returns a deep copy sharing no tensors with m.
+func (m *MLP) Clone() *MLP {
+	return &MLP{fc1: m.fc1.Clone(), fc2: m.fc2.Clone()}
 }
 
 // Forward applies fc2(relu(fc1(x))).

@@ -35,6 +35,12 @@ func NewPatchEmbed(name string, rng *rand.Rand, inC, dim, maxTokens int) *PatchE
 // Dim returns the token width.
 func (p *PatchEmbed) Dim() int { return p.dim }
 
+// Clone returns a deep copy sharing no tensors with p. The projection stays
+// frozen in the clone.
+func (p *PatchEmbed) Clone() *PatchEmbed {
+	return &PatchEmbed{name: p.name, proj: p.proj.Clone(), pos: p.pos.Clone(), dim: p.dim}
+}
+
 // Forward tokenizes a feature map (B,C,H,W) into (B, H*W, dim).
 func (p *PatchEmbed) Forward(fm *autograd.Value) (*autograd.Value, error) {
 	if fm.T.NDim() != 4 {

@@ -32,6 +32,21 @@ func NewBasicBlock(name string, rng *rand.Rand, inC, outC, stride int) *BasicBlo
 	return b
 }
 
+// Clone returns a deep copy sharing no tensors with b.
+func (b *BasicBlock) Clone() *BasicBlock {
+	c := &BasicBlock{
+		conv1: b.conv1.Clone(),
+		conv2: b.conv2.Clone(),
+		bn1:   b.bn1.Clone(),
+		bn2:   b.bn2.Clone(),
+	}
+	if b.downConv != nil {
+		c.downConv = b.downConv.Clone()
+		c.downBN = b.downBN.Clone()
+	}
+	return c
+}
+
 // Forward applies the residual block.
 func (b *BasicBlock) Forward(ctx *Ctx, x *autograd.Value) (*autograd.Value, error) {
 	h, err := b.conv1.Forward(x)
@@ -111,6 +126,20 @@ func NewResNet10(name string, rng *rand.Rand, baseWidth int) *ResNet10 {
 		in = widths[i]
 	}
 	return r
+}
+
+// Clone returns a deep copy sharing no tensors with r.
+func (r *ResNet10) Clone() *ResNet10 {
+	c := &ResNet10{
+		stem:   r.stem.Clone(),
+		stemBN: r.stemBN.Clone(),
+		baseW:  r.baseW,
+		OutC:   r.OutC,
+	}
+	for i, s := range r.stages {
+		c.stages[i] = s.Clone()
+	}
+	return c
 }
 
 // Forward maps x (B,3,H,W) to a feature map (B, 8*base, H/8, W/8).

@@ -1,6 +1,16 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"reffil/internal/parallel"
+)
+
+// minChunkOps is the scalar-operation budget below which a matmul chunk is
+// not worth a goroutine: kernels fall back to the calling goroutine for
+// anything smaller, so the tiny matmuls that dominate mini-scale training do
+// not pay fan-out overhead.
+const minChunkOps = parallel.DefaultChunkOps
 
 // MatMul multiplies two 2-D tensors: (m,k) x (k,n) -> (m,n).
 func MatMul(a, b *Tensor) *Tensor {
@@ -13,15 +23,20 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulKernel(out.data, a.data, b.data, m, k, n)
+	parallel.For(m, parallel.GrainForCost(2*k*n, minChunkOps), func(lo, hi int) {
+		matmulRows(out.data, a.data, b.data, lo, hi, k, n)
+	})
 	return out
 }
 
-// matmulKernel computes C = A(m,k) * B(k,n) into c, which must be zeroed.
-// The loop order (i,p,j) streams B rows sequentially, which is the cache
-// friendly order for row-major storage.
-func matmulKernel(c, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
+// matmulRows computes rows [lo,hi) of C = A(m,k) * B(k,n) into c, which must
+// be zeroed. The loop order (i,p,j) streams B rows sequentially, which is
+// the cache friendly order for row-major storage. Each output row depends
+// only on its own A row and all of B, so disjoint row ranges are safe to
+// compute concurrently and the per-element accumulation order is identical
+// at any chunking.
+func matmulRows(c, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		ci := c[i*n : (i+1)*n]
 		ai := a[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
@@ -37,8 +52,17 @@ func matmulKernel(c, a, b []float64, m, k, n int) {
 	}
 }
 
+// matmulKernel computes the full C = A(m,k) * B(k,n) serially (batched
+// callers parallelize over the batch axis instead).
+func matmulKernel(c, a, b []float64, m, k, n int) {
+	matmulRows(c, a, b, 0, m, k, n)
+}
+
 // MatMulT1 computes aᵀ·b for a (k,m) and b (k,n) -> (m,n) without
-// materializing the transpose.
+// materializing the transpose. Output rows are partitioned across workers;
+// within a row range the shared-dimension loop stays outermost so B rows
+// stream sequentially and the accumulation order per element matches the
+// serial kernel exactly.
 func MatMulT1(a, b *Tensor) *Tensor {
 	if a.NDim() != 2 || b.NDim() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulT1 needs 2-D operands, got %v and %v", a.shape, b.shape))
@@ -49,20 +73,22 @@ func MatMulT1(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT1 inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.data[p*m : (p+1)*m]
-		bp := b.data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			ci := out.data[i*n : (i+1)*n]
-			for j := range bp {
-				ci[j] += av * bp[j]
+	parallel.For(m, parallel.GrainForCost(2*k*n, minChunkOps), func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a.data[p*m : (p+1)*m]
+			bp := b.data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				ci := out.data[i*n : (i+1)*n]
+				for j := range bp {
+					ci[j] += av * bp[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -78,23 +104,26 @@ func MatMulT2(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT2 inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		ci := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range ai {
-				s += ai[p] * bj[p]
+	parallel.For(m, parallel.GrainForCost(2*k*n, minChunkOps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			ci := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p := range ai {
+					s += ai[p] * bj[p]
+				}
+				ci[j] = s
 			}
-			ci[j] = s
 		}
-	}
+	})
 	return out
 }
 
 // BatchMatMul multiplies two 3-D tensors batch-wise:
-// (B,m,k) x (B,k,n) -> (B,m,n).
+// (B,m,k) x (B,k,n) -> (B,m,n). Batch elements are independent, so the
+// batch axis is the parallel axis.
 func BatchMatMul(a, b *Tensor) *Tensor {
 	if a.NDim() != 3 || b.NDim() != 3 {
 		panic(fmt.Sprintf("tensor: BatchMatMul needs 3-D operands, got %v and %v", a.shape, b.shape))
@@ -108,9 +137,11 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[2]
 	out := New(bs, m, n)
-	for i := 0; i < bs; i++ {
-		matmulKernel(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
-	}
+	parallel.For(bs, parallel.GrainForCost(2*m*k*n, minChunkOps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			matmulKernel(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
+		}
+	})
 	return out
 }
 
