@@ -22,6 +22,7 @@ import (
 	"reffil/internal/experiments"
 	"reffil/internal/fl"
 	"reffil/internal/model"
+	"reffil/internal/nn"
 	"reffil/internal/tensor"
 )
 
@@ -273,8 +274,11 @@ func BenchmarkRoundParallel(b *testing.B) {
 		name    string
 		workers int
 	}{
+		// The max key is machine-independent so regenerated numbers diff
+		// cleanly against BENCH_parallel.json; the cpus metric records the
+		// actual pool width.
 		{"workers=1", 1},
-		{fmt.Sprintf("workers=%d(max)", runtime.NumCPU()), 0},
+		{"workers=max", 0},
 	} {
 		b.Run(setting.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -294,8 +298,63 @@ func BenchmarkRoundParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			if setting.workers == 0 {
+				b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			}
 		})
 	}
+}
+
+// BenchmarkWeightedAverageSharded measures FedAvg aggregation — the
+// multi-node hot path, run once per communication round over every
+// selected client's full state dict — with the key-sharded reduction of
+// fl.WeightedAverage against the pre-sharding serial per-key loop, inlined
+// here as the baseline. Both paths produce bit-identical aggregates: keys
+// are reduced independently and each key's accumulation order over clients
+// is fixed (TestWeightedAverageShardedMatchesSerial asserts ==).
+func BenchmarkWeightedAverageSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	alg, err := baselines.NewFinetune(model.DefaultConfig(7), baselines.DefaultHyper(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const clients = 8
+	dicts := make([]map[string]*tensor.Tensor, clients)
+	weights := make([]float64, clients)
+	for i := range dicts {
+		dict := nn.StateDict(alg.Global())
+		for _, t := range dict {
+			d := t.Data()
+			for j := range d {
+				d[j] += rng.NormFloat64() * 0.01
+			}
+		}
+		dicts[i] = dict
+		weights[i] = float64(10 + i)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0.0
+			for _, w := range weights {
+				total += w
+			}
+			out := make(map[string]*tensor.Tensor, len(dicts[0]))
+			for name, first := range dicts[0] {
+				acc := tensor.New(first.Shape()...)
+				for c, d := range dicts {
+					acc.AddScaledInPlace(weights[c]/total, d[name])
+				}
+				out[name] = acc
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fl.WeightedAverage(dicts, weights); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTableVIII regenerates Table VIII: the τ/τmin/γ/β sensitivity

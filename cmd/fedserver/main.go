@@ -1,35 +1,36 @@
-// Command fedserver is the coordinator side of a real networked federation:
-// it listens for workers, broadcasts the global model each round, FedAvgs
-// the returned updates, evaluates on a held-out set, and optionally
-// checkpoints the aggregate.
+// Command fedserver is the coordinator of a real networked federation. It
+// runs the full fl.Engine — the paper's client-increment strategy,
+// per-round participant selection, dropout, FedAvg weighted by local
+// dataset size, and the method's server hooks — over the TCP transport
+// Runner, so every paper scenario that runs single-process runs multi-node
+// with bit-identical accuracy matrices for the same seed.
 //
-// Start the server, then one fedworker per participant:
+// Start the server, then one fedworker per machine (workers and server
+// must agree on -method, -dataset, -tasks and -seed; any worker count
+// works, jobs are fanned out round-robin):
 //
-//	fedserver -addr 127.0.0.1:7000 -workers 3 -rounds 5 -dataset pacs -domain photo
-//	fedworker -addr 127.0.0.1:7000 -id 0 -of 3 -dataset pacs -domain photo &
-//	fedworker -addr 127.0.0.1:7000 -id 1 -of 3 -dataset pacs -domain photo &
-//	fedworker -addr 127.0.0.1:7000 -id 2 -of 3 -dataset pacs -domain photo &
+//	fedserver -addr 127.0.0.1:7000 -workers 2 -method reffil -dataset pacs -tasks 2 -seed 1
+//	fedworker -addr 127.0.0.1:7000 -id 0 -method reffil -dataset pacs -tasks 2 -seed 1 &
+//	fedworker -addr 127.0.0.1:7000 -id 1 -method reffil -dataset pacs -tasks 2 -seed 1 &
 //
-// Both sides derive the same synthetic data from (dataset, domain, seed),
-// so no data ever crosses the wire — only model state, as in FL.
+// Workers derive their data shards from the job specs the server
+// broadcasts (dataset, domain, seed, partition slot), so no training data
+// ever crosses the wire — only model state, wire state and job framing.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 	"time"
 
-	"reffil/internal/baselines"
 	"reffil/internal/checkpoint"
 	"reffil/internal/data"
+	"reffil/internal/experiments"
 	"reffil/internal/fl"
 	"reffil/internal/fl/transport"
-	"reffil/internal/metrics"
 	"reffil/internal/model"
-	"reffil/internal/nn"
-	"reffil/internal/tensor"
 )
 
 func main() {
@@ -42,11 +43,20 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
-		workers = flag.Int("workers", 3, "number of workers to wait for")
-		rounds  = flag.Int("rounds", 5, "communication rounds")
+		workers = flag.Int("workers", 2, "number of fedworkers to wait for")
+		method  = flag.String("method", "reffil", "method: "+strings.Join(experiments.MethodFlags(), "|"))
 		dataset = flag.String("dataset", "pacs", "dataset family")
-		domain  = flag.String("domain", "", "domain (default: family's first)")
-		seed    = flag.Int64("seed", 1, "shared data/model seed")
+		tasks   = flag.Int("tasks", 2, "incremental tasks (0 = all of the family's domains)")
+		rounds  = flag.Int("rounds", 3, "communication rounds per task")
+		epochs  = flag.Int("epochs", 1, "local epochs per selected client")
+		batch   = flag.Int("batch", 8, "local batch size")
+		lr      = flag.Float64("lr", 0.05, "local learning rate")
+		clients = flag.Int("clients", 4, "initial participant pool size")
+		sel     = flag.Int("select", 3, "participants selected per round")
+		inc     = flag.Int("inc", 1, "new participants joining per task")
+		train   = flag.Int("train-per-domain", 48, "training samples per domain")
+		test    = flag.Int("test-per-domain", 24, "test samples per domain")
+		seed    = flag.Int64("seed", 1, "shared run seed (must match workers)")
 		ckpt    = flag.String("checkpoint", "", "path to write the final global model")
 		timeout = flag.Duration("accept-timeout", 60*time.Second, "worker accept timeout")
 	)
@@ -56,16 +66,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	d := *domain
-	if d == "" {
-		d = family.Domains[0]
+	domains := family.Domains
+	if *tasks > 0 && *tasks < len(domains) {
+		domains = domains[:*tasks]
 	}
-	_, test, err := family.Generate(d, 1, 200, *seed)
-	if err != nil {
-		return err
-	}
-
-	global, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(*seed)))
+	alg, err := experiments.NewMethodFromFlag(*method, model.DefaultConfig(family.Classes), len(domains), *seed)
 	if err != nil {
 		return err
 	}
@@ -81,69 +86,54 @@ func run() error {
 	}
 	fmt.Println("all workers connected")
 
-	evalAcc := func() (float64, error) {
-		batches, err := data.EvalBatches(test, 25)
-		if err != nil {
-			return 0, err
-		}
-		var pred, labels []int
-		for _, b := range batches {
-			p, err := global.Predict(b.X)
-			if err != nil {
-				return 0, err
-			}
-			pred = append(pred, p...)
-			labels = append(labels, b.Y...)
-		}
-		return metrics.Accuracy(pred, labels)
-	}
-
-	for r := 0; r < *rounds; r++ {
-		updates, err := coord.Round(transport.Broadcast{
-			Round: r,
-			State: transport.ToWire(nn.StateDict(global.Global())),
-		})
-		if err != nil {
-			return err
-		}
-		var dicts []map[string]*tensor.Tensor
-		var weights []float64
-		for _, u := range updates {
-			if u.Skip {
-				continue
-			}
-			du, err := transport.FromWire(u.State)
-			if err != nil {
-				return err
-			}
-			dicts = append(dicts, du)
-			weights = append(weights, u.Weight)
-		}
-		if len(dicts) == 0 {
-			fmt.Printf("round %d: no updates\n", r)
-			continue
-		}
-		avg, err := fl.WeightedAverage(dicts, weights)
-		if err != nil {
-			return err
-		}
-		if err := nn.LoadStateDict(global.Global(), avg); err != nil {
-			return err
-		}
-		acc, err := evalAcc()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("round %d: %d updates aggregated, eval accuracy %.2f%%\n", r, len(dicts), acc*100)
-	}
-	if _, err := coord.Round(transport.Broadcast{Done: true}); err != nil {
+	runner, err := transport.NewRunner(coord, alg)
+	if err != nil {
 		return err
 	}
+	cfg := fl.Config{
+		Rounds:            *rounds,
+		Epochs:            *epochs,
+		BatchSize:         *batch,
+		LR:                *lr,
+		InitialClients:    *clients,
+		SelectPerRound:    *sel,
+		ClientsPerTaskInc: *inc,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    *train,
+		TestPerDomain:     *test,
+		EvalBatch:         25,
+		Seed:              *seed,
+	}
+	eng, err := fl.NewEngineWithRunner(cfg, alg, runner)
+	if err != nil {
+		return err
+	}
+	eng.Progress = func(msg string) { fmt.Println(msg) }
+
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\naccuracy matrix (%s on %s, %d tasks, %d workers):\n", alg.Name(), family.Name, len(domains), *workers)
+	mat.FprintTriangle(os.Stdout)
+	sum, err := mat.Summarize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Avg %.2f%%  Last %.2f%%  FGT %.2f  BwT %.2f\n", sum.Avg*100, sum.Last*100, sum.FGT, sum.BwT)
+
 	if *ckpt != "" {
-		if err := checkpoint.SaveModule(*ckpt, global.Global()); err != nil {
+		if err := checkpoint.SaveModule(*ckpt, alg.Global()); err != nil {
 			return err
 		}
 		fmt.Println("saved global model to", *ckpt)
+	}
+	// The goodbye is best-effort: a worker that died after its last reply
+	// must not discard a completed run's results.
+	if err := coord.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedserver: shutdown:", err)
 	}
 	return nil
 }

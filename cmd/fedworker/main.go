@@ -1,23 +1,27 @@
-// Command fedworker is the participant side of a real networked federation:
-// it derives its private shard from (dataset, domain, seed, id), connects
-// to a fedserver, and serves training rounds until the coordinator signals
-// completion. Only model state crosses the wire.
+// Command fedworker is one machine of a networked federation: a job
+// executor. It connects to a fedserver and serves rounds until the
+// coordinator signals completion; each broadcast carries the global model
+// state, the method's wire state and this worker's job assignment. The
+// worker derives every job's private shard from the spec's (dataset,
+// domain, seed, partition slot) coordinates — no training data crosses the
+// wire — and runs its jobs through the same worker-pool runner the
+// in-process engine uses.
 //
-// See cmd/fedserver for the full deployment recipe.
+// -method, -dataset, -tasks and -seed must match the fedserver's flags:
+// the construction seed fixes the initial weights on both sides. See
+// cmd/fedserver for the full deployment recipe.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
-	"reffil/internal/baselines"
 	"reffil/internal/data"
-	"reffil/internal/fl"
+	"reffil/internal/experiments"
 	"reffil/internal/fl/transport"
 	"reffil/internal/model"
-	"reffil/internal/nn"
 )
 
 func main() {
@@ -30,71 +34,45 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7000", "coordinator address")
-		id      = flag.Int("id", 0, "worker id (0-based)")
-		of      = flag.Int("of", 3, "total worker count (for sharding)")
-		dataset = flag.String("dataset", "pacs", "dataset family")
-		domain  = flag.String("domain", "", "domain (default: family's first)")
-		seed    = flag.Int64("seed", 1, "shared data/model seed")
-		samples = flag.Int("samples", 150, "total training samples across workers")
-		epochs  = flag.Int("epochs", 2, "local epochs per round")
-		batch   = flag.Int("batch", 8, "local batch size")
-		lr      = flag.Float64("lr", 0.05, "local learning rate")
+		id      = flag.Int("id", 0, "worker id (0-based, for logs)")
+		method  = flag.String("method", "reffil", "method: "+strings.Join(experiments.MethodFlags(), "|")+" (must match fedserver)")
+		dataset = flag.String("dataset", "pacs", "dataset family (must match fedserver)")
+		tasks   = flag.Int("tasks", 2, "incremental tasks (must match fedserver; 0 = all domains)")
+		seed    = flag.Int64("seed", 1, "shared run seed (must match fedserver)")
+		jobs    = flag.Int("jobs", 0, "concurrent jobs per round (0 = NumCPU)")
 	)
 	flag.Parse()
-	if *id < 0 || *id >= *of {
-		return fmt.Errorf("worker id %d outside [0,%d)", *id, *of)
-	}
 
 	family, err := data.NewFamily(*dataset, 16)
 	if err != nil {
 		return err
 	}
-	d := *domain
-	if d == "" {
-		d = family.Domains[0]
+	maxTasks := len(family.Domains)
+	if *tasks > 0 && *tasks < maxTasks {
+		maxTasks = *tasks
 	}
-	// All workers derive the same deterministic partition and each takes
-	// its own shard: the data never touches the network.
-	train, _, err := family.Generate(d, *samples, 1, *seed)
+	alg, err := experiments.NewMethodFromFlag(*method, model.DefaultConfig(family.Classes), maxTasks, *seed)
 	if err != nil {
 		return err
 	}
-	shards, err := data.PartitionQuantityShift(train, *of, 0.5, rand.New(rand.NewSource(*seed)))
+	ex, err := transport.NewExecutor(alg, *jobs)
 	if err != nil {
 		return err
 	}
-	shard := shards[*id]
-	fmt.Printf("worker %d/%d: %d private examples of %s/%s\n", *id, *of, shard.Len(), family.Name, d)
 
-	local, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(*seed)))
-	if err != nil {
-		return err
-	}
 	w, err := transport.Dial(*addr, *id)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
+	fmt.Printf("worker %d: connected to %s as %s on %s\n", *id, *addr, alg.Name(), family.Name)
 
 	return w.Serve(func(b transport.Broadcast) (transport.Update, error) {
-		state, err := transport.FromWire(b.State)
+		u, err := ex.Handle(b)
 		if err != nil {
-			return transport.Update{}, err
+			return u, err
 		}
-		if err := nn.LoadStateDict(local.Global(), state); err != nil {
-			return transport.Update{}, err
-		}
-		if _, err := local.LocalTrain(&fl.LocalContext{
-			ClientID: *id, Task: 0, ClientTask: 0, Group: fl.GroupNew,
-			Data: shard, Epochs: *epochs, BatchSize: *batch, LR: *lr,
-			Rng: rand.New(rand.NewSource(*seed ^ int64(1000**id+b.Round))),
-		}); err != nil {
-			return transport.Update{}, err
-		}
-		fmt.Printf("worker %d: finished round %d\n", *id, b.Round)
-		return transport.Update{
-			Weight: float64(shard.Len()),
-			State:  transport.ToWire(nn.StateDict(local.Global())),
-		}, nil
+		fmt.Printf("worker %d: task %d round %d: trained %d clients\n", *id, b.Task, b.Round, len(u.Results))
+		return u, nil
 	})
 }

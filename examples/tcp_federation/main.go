@@ -1,35 +1,34 @@
-// TCP federation: runs the federated loop over a real network transport.
-// A coordinator listens on loopback; three worker processes (goroutines
-// here, but each speaks only gob-over-TCP) hold private shards of one
-// domain, train locally, and upload weighted updates. The coordinator
-// FedAvgs and rebroadcasts. This demonstrates that the state dicts and
-// aggregation used by the in-process engine federate across real
-// connections.
+// TCP federation: the full federated domain-incremental engine running
+// over a real network transport. A coordinator listens on loopback; two
+// worker processes (goroutines here, but each speaks only gob-over-TCP)
+// execute the rounds' jobs, deriving their private shards from the job
+// specs — no training data crosses the wire. The same engine then runs
+// in-process, and the two accuracy matrices are compared cell by cell:
+// the networked path is not an approximation of the local one, it is the
+// same computation.
 //
 //	go run ./examples/tcp_federation
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"time"
 
-	"reffil/internal/baselines"
 	"reffil/internal/data"
+	"reffil/internal/experiments"
 	"reffil/internal/fl"
 	"reffil/internal/fl/transport"
 	"reffil/internal/metrics"
 	"reffil/internal/model"
-	"reffil/internal/nn"
-	"reffil/internal/tensor"
 )
 
 const (
-	numWorkers = 3
-	rounds     = 3
-	classes    = 7
+	numWorkers = 2
+	methodFlag = "reffil"
+	seed       = 2025
+	algSeed    = 7
 )
 
 func main() {
@@ -39,19 +38,34 @@ func main() {
 	}
 }
 
+func config() fl.Config {
+	return fl.Config{
+		Rounds:            2,
+		Epochs:            1,
+		BatchSize:         8,
+		LR:                0.05,
+		InitialClients:    4,
+		SelectPerRound:    3,
+		ClientsPerTaskInc: 1,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    24,
+		TestPerDomain:     12,
+		EvalBatch:         12,
+		Seed:              seed,
+	}
+}
+
+func newAlg(family *data.Family, tasks int) (fl.Algorithm, error) {
+	return experiments.NewMethodFromFlag(methodFlag, model.DefaultConfig(family.Classes), tasks, algSeed)
+}
+
 func run() error {
 	family, err := data.NewFamily("pacs", 16)
 	if err != nil {
 		return err
 	}
-	train, test, err := family.Generate("photo", 120, 40, 5)
-	if err != nil {
-		return err
-	}
-	shards, err := data.PartitionQuantityShift(train, numWorkers, 0.5, rand.New(rand.NewSource(5)))
-	if err != nil {
-		return err
-	}
+	domains := family.Domains[:2]
 
 	coord, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
@@ -65,7 +79,7 @@ func run() error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := worker(coord.Addr(), id, shards[id]); err != nil {
+			if err := worker(coord.Addr(), id, family, len(domains)); err != nil {
 				fmt.Fprintf(os.Stderr, "worker %d: %v\n", id, err)
 			}
 		}(id)
@@ -73,112 +87,81 @@ func run() error {
 	if err := coord.Accept(numWorkers, 10*time.Second); err != nil {
 		return err
 	}
-	fmt.Printf("%d workers connected, shard sizes:", numWorkers)
-	for _, s := range shards {
-		fmt.Printf(" %d", s.Len())
-	}
-	fmt.Println()
+	fmt.Printf("%d workers connected\n", numWorkers)
 
-	// The coordinator owns the global model (used only for evaluation and
-	// as the broadcast source).
-	global, err := baselines.NewFinetune(model.DefaultConfig(classes), baselines.DefaultHyper(), rand.New(rand.NewSource(1)))
+	// Networked run: the engine schedules, the transport Runner fans out.
+	alg, err := newAlg(family, len(domains))
 	if err != nil {
 		return err
 	}
-	evalAcc := func() (float64, error) {
-		batches, err := data.EvalBatches(test, 20)
-		if err != nil {
-			return 0, err
-		}
-		var pred, labels []int
-		for _, b := range batches {
-			p, err := global.Predict(b.X)
-			if err != nil {
-				return 0, err
-			}
-			pred = append(pred, p...)
-			labels = append(labels, b.Y...)
-		}
-		return metrics.Accuracy(pred, labels)
-	}
-
-	before, err := evalAcc()
+	runner, err := transport.NewRunner(coord, alg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("accuracy before federation: %.2f%%\n", before*100)
-
-	for r := 0; r < rounds; r++ {
-		updates, err := coord.Round(transport.Broadcast{
-			Round: r,
-			State: transport.ToWire(nn.StateDict(global.Global())),
-		})
-		if err != nil {
-			return err
-		}
-		var dicts []map[string]*tensor.Tensor
-		var weights []float64
-		for _, u := range updates {
-			if u.Skip {
-				continue
-			}
-			d, err := transport.FromWire(u.State)
-			if err != nil {
-				return err
-			}
-			dicts = append(dicts, d)
-			weights = append(weights, u.Weight)
-		}
-		avg, err := fl.WeightedAverage(dicts, weights)
-		if err != nil {
-			return err
-		}
-		if err := nn.LoadStateDict(global.Global(), avg); err != nil {
-			return err
-		}
-		acc, err := evalAcc()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("round %d aggregated %d updates, accuracy %.2f%%\n", r, len(dicts), acc*100)
-	}
-	if _, err := coord.Round(transport.Broadcast{Done: true}); err != nil {
+	eng, err := fl.NewEngineWithRunner(config(), alg, runner)
+	if err != nil {
 		return err
+	}
+	eng.Progress = func(msg string) { fmt.Println("  " + msg) }
+	tcpMat, err := eng.Run(family, domains)
+	if err != nil {
+		return err
+	}
+	// Best-effort goodbye: a dead worker connection must not discard the
+	// completed run.
+	if err := coord.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
 	}
 	wg.Wait()
+
+	// Reference run: identical engine, in-process worker pool.
+	ref, err := newAlg(family, len(domains))
+	if err != nil {
+		return err
+	}
+	localEng, err := fl.NewEngine(config(), ref)
+	if err != nil {
+		return err
+	}
+	localMat, err := localEng.Run(family, domains)
+	if err != nil {
+		return err
+	}
+
+	printMatrix("over TCP", tcpMat)
+	printMatrix("in-process", localMat)
+	for t := range tcpMat.A {
+		for i := 0; i <= t; i++ {
+			if tcpMat.A[t][i] != localMat.A[t][i] {
+				return fmt.Errorf("matrices diverged at [%d][%d]: TCP %v vs local %v",
+					t, i, tcpMat.A[t][i], localMat.A[t][i])
+			}
+		}
+	}
+	fmt.Println("networked and in-process runs are bit-identical")
 	return nil
 }
 
-// worker dials the coordinator and serves training rounds: load broadcast
-// weights, run local epochs on the private shard, reply with the update.
-func worker(addr string, id int, shard *data.Dataset) error {
+func printMatrix(label string, mat *metrics.Matrix) {
+	fmt.Printf("accuracy matrix %s:\n", label)
+	mat.FprintTriangle(os.Stdout)
+}
+
+// worker is one federation participant machine: dial, construct the same
+// method with the same construction seed, and serve job broadcasts.
+func worker(addr string, id int, family *data.Family, tasks int) error {
+	alg, err := newAlg(family, tasks)
+	if err != nil {
+		return err
+	}
+	ex, err := transport.NewExecutor(alg, 0)
+	if err != nil {
+		return err
+	}
 	w, err := transport.Dial(addr, id)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
-	local, err := baselines.NewFinetune(model.DefaultConfig(classes), baselines.DefaultHyper(), rand.New(rand.NewSource(int64(id))))
-	if err != nil {
-		return err
-	}
-	return w.Serve(func(b transport.Broadcast) (transport.Update, error) {
-		state, err := transport.FromWire(b.State)
-		if err != nil {
-			return transport.Update{}, err
-		}
-		if err := nn.LoadStateDict(local.Global(), state); err != nil {
-			return transport.Update{}, err
-		}
-		if _, err := local.LocalTrain(&fl.LocalContext{
-			ClientID: id, Task: 0, ClientTask: 0, Group: fl.GroupNew,
-			Data: shard, Epochs: 2, BatchSize: 8, LR: 0.05,
-			Rng: rand.New(rand.NewSource(int64(100*b.Round + id))),
-		}); err != nil {
-			return transport.Update{}, err
-		}
-		return transport.Update{
-			Weight: float64(shard.Len()),
-			State:  transport.ToWire(nn.StateDict(local.Global())),
-		}, nil
-	})
+	return w.Serve(ex.Handle)
 }

@@ -126,4 +126,3 @@ func (f *Finetune) Predict(x *tensor.Tensor) ([]int, error) {
 }
 
 var _ fl.Algorithm = (*Finetune)(nil)
-

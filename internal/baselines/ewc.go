@@ -1,9 +1,13 @@
 package baselines
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"reffil/internal/autograd"
+	"reffil/internal/checkpoint"
 	"reffil/internal/data"
 	"reffil/internal/fl"
 	"reffil/internal/model"
@@ -171,4 +175,49 @@ func (f *FedEWC) Predict(x *tensor.Tensor) ([]int, error) {
 	return f.backbone.Predict(x, nil)
 }
 
+// EncodeWireState implements fl.WireStater: the consolidated Fisher and
+// anchor maps, packed into one checkpoint-format dict under "fisher/" and
+// "ref/" prefixes (empty before the first OnTaskEnd).
+func (f *FedEWC) EncodeWireState() ([]byte, error) {
+	dict := make(map[string]*tensor.Tensor, 2*len(f.fisher))
+	for k, v := range f.fisher {
+		dict["fisher/"+k] = v
+	}
+	for k, v := range f.ref {
+		dict["ref/"+k] = v
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, dict); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadWireState implements fl.WireStater.
+func (f *FedEWC) LoadWireState(b []byte) error {
+	dict, err := checkpoint.Load(bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	if len(dict) == 0 {
+		f.fisher, f.ref = nil, nil
+		return nil
+	}
+	fisher := make(map[string]*tensor.Tensor)
+	ref := make(map[string]*tensor.Tensor)
+	for k, v := range dict {
+		switch {
+		case strings.HasPrefix(k, "fisher/"):
+			fisher[strings.TrimPrefix(k, "fisher/")] = v
+		case strings.HasPrefix(k, "ref/"):
+			ref[strings.TrimPrefix(k, "ref/")] = v
+		default:
+			return fmt.Errorf("baselines: unexpected EWC wire-state entry %q", k)
+		}
+	}
+	f.fisher, f.ref = fisher, ref
+	return nil
+}
+
 var _ fl.Algorithm = (*FedEWC)(nil)
+var _ fl.WireStater = (*FedEWC)(nil)

@@ -1,9 +1,11 @@
 package baselines
 
 import (
+	"bytes"
 	"math/rand"
 
 	"reffil/internal/autograd"
+	"reffil/internal/checkpoint"
 	"reffil/internal/data"
 	"reffil/internal/fl"
 	"reffil/internal/model"
@@ -103,4 +105,38 @@ func (f *FedLwF) Predict(x *tensor.Tensor) ([]int, error) {
 	return f.backbone.Predict(x, nil)
 }
 
+// EncodeWireState implements fl.WireStater: the frozen distillation
+// teacher's state dict in the checkpoint format (an empty dict during the
+// first task, when no teacher exists yet).
+func (f *FedLwF) EncodeWireState() ([]byte, error) {
+	dict := map[string]*tensor.Tensor{}
+	if f.teacher != nil {
+		dict = nn.StateDict(f.teacher)
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, dict); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadWireState implements fl.WireStater: reconstruct the teacher from the
+// broadcast state dict, so a networked worker distills from exactly the
+// snapshot the coordinator froze at task start.
+func (f *FedLwF) LoadWireState(b []byte) error {
+	dict, err := checkpoint.Load(bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	if len(dict) == 0 {
+		f.teacher = nil
+		return nil
+	}
+	if f.teacher == nil {
+		f.teacher = f.backbone.Clone()
+	}
+	return nn.LoadStateDict(f.teacher, dict)
+}
+
 var _ fl.Algorithm = (*FedLwF)(nil)
+var _ fl.WireStater = (*FedLwF)(nil)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 
@@ -377,4 +379,82 @@ func (r *RefFiL) Predict(x *tensor.Tensor) ([]int, error) {
 	return tensor.ArgmaxRows(logits.T), nil
 }
 
+// wireState is RefFiL's gob-encoded server-side state beyond Global():
+// the current task counter (which parameterizes the DPCL temperature
+// decay) and the clustered prompt bank, flattened per class.
+type wireState struct {
+	CurTask int
+	Classes []int
+	// Rows[i] is class Classes[i]'s representative count; Data[i] its
+	// (Rows[i], dim) matrix flattened row-major.
+	Rows []int
+	Data [][]float64
+}
+
+// EncodeWireState implements fl.WireStater: the task counter plus the
+// clustered global prompt bank, so a networked worker's GPL and DPCL
+// losses see exactly the server's Eq. 7-8 state.
+func (r *RefFiL) EncodeWireState() ([]byte, error) {
+	ws := wireState{CurTask: r.curTask}
+	for _, k := range r.bank.Classes() {
+		m := r.bank.byClass[k]
+		ws.Classes = append(ws.Classes, k)
+		ws.Rows = append(ws.Rows, m.Dim(0))
+		ws.Data = append(ws.Data, append([]float64(nil), m.Data()...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ws); err != nil {
+		return nil, fmt.Errorf("core: encoding wire state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadWireState implements fl.WireStater.
+func (r *RefFiL) LoadWireState(b []byte) error {
+	var ws wireState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ws); err != nil {
+		return fmt.Errorf("core: decoding wire state: %w", err)
+	}
+	if len(ws.Classes) != len(ws.Rows) || len(ws.Classes) != len(ws.Data) {
+		return fmt.Errorf("core: wire state with %d classes, %d row counts, %d matrices",
+			len(ws.Classes), len(ws.Rows), len(ws.Data))
+	}
+	bank := NewPromptBank(r.bank.dim)
+	for i, k := range ws.Classes {
+		rows, flat := ws.Rows[i], ws.Data[i]
+		if rows <= 0 || rows*bank.dim != len(flat) {
+			return fmt.Errorf("core: wire state class %d has %d values for %d rows of width %d",
+				k, len(flat), rows, bank.dim)
+		}
+		bank.byClass[k] = tensor.FromSlice(append([]float64(nil), flat...), rows, bank.dim)
+	}
+	r.bank = bank
+	r.curTask = ws.CurTask
+	return nil
+}
+
+// EncodeUpload implements fl.UploadCoder for the Eq. 5 local prompt group.
+func (r *RefFiL) EncodeUpload(up fl.Upload) ([]byte, error) {
+	pu, ok := up.(*PromptUpload)
+	if !ok {
+		return nil, fmt.Errorf("core: cannot encode upload of type %T", up)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pu); err != nil {
+		return nil, fmt.Errorf("core: encoding upload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeUpload implements fl.UploadCoder.
+func (r *RefFiL) DecodeUpload(b []byte) (fl.Upload, error) {
+	var pu PromptUpload
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&pu); err != nil {
+		return nil, fmt.Errorf("core: decoding upload: %w", err)
+	}
+	return &pu, nil
+}
+
 var _ fl.Algorithm = (*RefFiL)(nil)
+var _ fl.WireStater = (*RefFiL)(nil)
+var _ fl.UploadCoder = (*RefFiL)(nil)

@@ -11,13 +11,23 @@ package fl
 
 import (
 	"fmt"
+	"sort"
 
+	"reffil/internal/parallel"
 	"reffil/internal/tensor"
 )
 
 // WeightedAverage computes the FedAvg aggregate of client state dicts:
 // sum_m (w_m / sum w) * dict_m, entry-wise. All dicts must share the same
 // keys and shapes; weights must be positive.
+//
+// The state dict's keys are sharded across internal/parallel: entries are
+// independent, so each worker reduces a contiguous slice of the sorted key
+// list. Within one entry the accumulation order over clients is fixed
+// (client 0, 1, 2, ... — selection order), so results are bit-identical to
+// the serial reduction at any worker count. This is the multi-node hot
+// path: a networked round aggregates full state dicts from every selected
+// client.
 func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[string]*tensor.Tensor, error) {
 	if len(dicts) == 0 {
 		return nil, fmt.Errorf("fl: no client updates to aggregate")
@@ -32,20 +42,56 @@ func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[
 		}
 		total += w
 	}
-	out := make(map[string]*tensor.Tensor, len(dicts[0]))
+	// Fix the shard layout before the fan-out: sorted keys, per-client
+	// scale factors, and the per-key element budget for the chunk grain.
+	names := make([]string, 0, len(dicts[0]))
+	elems := 0
 	for name, first := range dicts[0] {
-		acc := tensor.New(first.Shape()...)
-		for i, d := range dicts {
-			src, ok := d[name]
-			if !ok {
-				return nil, fmt.Errorf("fl: client %d update missing entry %q", i, name)
+		names = append(names, name)
+		elems += first.Size()
+	}
+	sort.Strings(names)
+	scales := make([]float64, len(weights))
+	for i, w := range weights {
+		scales[i] = w / total
+	}
+
+	accs := make([]*tensor.Tensor, len(names))
+	errs := make([]error, len(names))
+	perKeyOps := 1
+	if len(names) > 0 {
+		perKeyOps = elems / len(names) * len(dicts)
+	}
+	grain := parallel.GrainForCost(perKeyOps, parallel.DefaultChunkOps)
+	parallel.For(len(names), grain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			name := names[k]
+			acc := tensor.New(dicts[0][name].Shape()...)
+			for i, d := range dicts {
+				src, ok := d[name]
+				if !ok {
+					errs[k] = fmt.Errorf("fl: client %d update missing entry %q", i, name)
+					break
+				}
+				if src.Size() != acc.Size() {
+					errs[k] = fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), acc.Size())
+					break
+				}
+				acc.AddScaledInPlace(scales[i], src)
 			}
-			if src.Size() != acc.Size() {
-				return nil, fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), acc.Size())
+			if errs[k] == nil {
+				accs[k] = acc
 			}
-			acc.AddScaledInPlace(weights[i]/total, src)
 		}
-		out[name] = acc
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*tensor.Tensor, len(names))
+	for k, name := range names {
+		out[name] = accs[k]
 	}
 	// Reject dicts with extra keys relative to the first.
 	for i, d := range dicts[1:] {

@@ -3,14 +3,10 @@ package fl
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"reffil/internal/data"
 	"reffil/internal/metrics"
 	"reffil/internal/nn"
-	"reffil/internal/parallel"
 	"reffil/internal/tensor"
 )
 
@@ -182,6 +178,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// shardRef records a client's coordinates inside one task's deterministic
+// partition, so its shard can be described to remote runners without
+// shipping data (see ShardSpec).
+type shardRef struct {
+	// learners is how many clients partitioned the task's domain.
+	learners int
+	// index is this client's slot in that partition.
+	index int
+}
+
 // client is the engine's view of one participant.
 type client struct {
 	id int
@@ -191,31 +197,52 @@ type client struct {
 	group Group
 	// shards maps task index -> this client's training shard.
 	shards map[int]*data.Dataset
+	// partRefs maps task index -> the shard's partition coordinates.
+	partRefs map[int]shardRef
 	// joined is the stage at which the client entered the pool.
 	joined int
 }
 
 // Engine runs federated domain-incremental learning over a task sequence.
+// Round execution is delegated to a pluggable Runner, so the same
+// federation mechanics drive an in-process worker pool and a TCP fan-out
+// across machines.
 type Engine struct {
 	cfg     Config
 	alg     Algorithm
+	runner  Runner
 	rng     *rand.Rand
 	clients []*client
+	// family/domains describe the data of the current Run, for job specs.
+	family  *data.Family
+	domains []string
 	// testSets[i] is task i's held-out evaluation set.
 	testSets []*data.Dataset
 	// Progress, when non-nil, receives a line per round (for CLIs).
 	Progress func(msg string)
 }
 
-// NewEngine validates the config and builds an engine for the algorithm.
+// NewEngine validates the config and builds an engine for the algorithm
+// with the default in-process LocalRunner.
 func NewEngine(cfg Config, alg Algorithm) (*Engine, error) {
+	return NewEngineWithRunner(cfg, alg, nil)
+}
+
+// NewEngineWithRunner builds an engine that executes each round's jobs on
+// the given Runner. A networked runner must train replicas of the same
+// algorithm instance (see transport.NewRunner). A nil runner selects the
+// in-process LocalRunner over cfg.Workers.
+func NewEngineWithRunner(cfg Config, alg Algorithm, runner Runner) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if alg == nil {
 		return nil, fmt.Errorf("fl: nil algorithm")
 	}
-	return &Engine{cfg: cfg, alg: alg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	if runner == nil {
+		runner = &LocalRunner{Alg: alg, Workers: cfg.Workers}
+	}
+	return &Engine{cfg: cfg, alg: alg, runner: runner, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
 // Run executes the full task sequence: for each domain, Rounds communication
@@ -230,10 +257,12 @@ func (e *Engine) Run(family *data.Family, domains []string) (*metrics.Matrix, er
 		return nil, err
 	}
 	e.clients = nil
+	e.family = family
+	e.domains = domains
 	e.testSets = make([]*data.Dataset, len(domains))
 
 	for t, domain := range domains {
-		train, test, err := family.Generate(domain, e.cfg.TrainPerDomain, e.cfg.TestPerDomain, e.cfg.Seed+int64(t)*1000)
+		train, test, err := family.Generate(domain, e.cfg.TrainPerDomain, e.cfg.TestPerDomain, TaskSeed(e.cfg.Seed, t))
 		if err != nil {
 			return nil, fmt.Errorf("fl: task %d: %w", t, err)
 		}
@@ -277,11 +306,12 @@ func (e *Engine) advanceClients(t int, train *data.Dataset) error {
 	if t == 0 {
 		for i := 0; i < e.cfg.InitialClients; i++ {
 			e.clients = append(e.clients, &client{
-				id:     i,
-				task:   0,
-				group:  GroupNew,
-				shards: make(map[int]*data.Dataset),
-				joined: 0,
+				id:       i,
+				task:     0,
+				group:    GroupNew,
+				shards:   make(map[int]*data.Dataset),
+				partRefs: make(map[int]shardRef),
+				joined:   0,
 			})
 		}
 	} else {
@@ -299,15 +329,19 @@ func (e *Engine) advanceClients(t int, train *data.Dataset) error {
 		}
 		for i := 0; i < e.cfg.ClientsPerTaskInc; i++ {
 			e.clients = append(e.clients, &client{
-				id:     len(e.clients),
-				task:   t,
-				group:  GroupNew,
-				shards: make(map[int]*data.Dataset),
-				joined: t,
+				id:       len(e.clients),
+				task:     t,
+				group:    GroupNew,
+				shards:   make(map[int]*data.Dataset),
+				partRefs: make(map[int]shardRef),
+				joined:   t,
 			})
 		}
 	}
-	// Partition the new domain among clients currently on task t.
+	// Partition the new domain among clients currently on task t. The
+	// partition RNG is derived from (seed, task) — not the engine's ambient
+	// stream — so a remote worker handed a ShardSpec re-runs the identical
+	// partition from the spec alone.
 	var learners []*client
 	for _, c := range e.clients {
 		if c.task == t {
@@ -317,47 +351,35 @@ func (e *Engine) advanceClients(t int, train *data.Dataset) error {
 	if len(learners) == 0 {
 		return fmt.Errorf("fl: task %d has no learners", t)
 	}
-	shards, err := data.PartitionQuantityShift(train, len(learners), e.cfg.Alpha, e.rng)
+	prng := rand.New(rand.NewSource(PartitionSeed(e.cfg.Seed, t)))
+	shards, err := data.PartitionQuantityShift(train, len(learners), e.cfg.Alpha, prng)
 	if err != nil {
 		return fmt.Errorf("fl: partitioning task %d: %w", t, err)
 	}
 	for i, c := range learners {
 		shards[i].SetTask(t)
 		c.shards[t] = shards[i]
+		c.partRefs[t] = shardRef{learners: len(learners), index: i}
 	}
 	return nil
 }
 
-// localJob is one client's unit of work for the round scheduler: everything
-// needed to train an isolated replica, fixed before the fan-out.
-type localJob struct {
-	ctx    *LocalContext
-	weight float64
-}
-
-// localResult is what a worker hands back: the replica's trained state dict
-// (the client's FedAvg payload) and the method upload.
-type localResult struct {
-	dict   map[string]*tensor.Tensor
-	upload Upload
-}
-
 // runRound performs one communication round of Algorithm 1: random
-// selection, concurrent local training on isolated model replicas, FedAvg
-// in selection order, and the method's server-side hook.
+// selection, local training on isolated model replicas via the configured
+// Runner, FedAvg in selection order, and the method's server-side hook.
 //
-// Determinism at any worker count rests on three invariants: every draw on
-// the engine RNG (selection, dropout) happens before the fan-out, in
-// selection order; each client trains a Spawn replica under its own
-// deterministically seeded RNG, touching no shared mutable state; and
-// aggregation consumes updates in selection order regardless of which
-// worker finished first.
+// Determinism at any worker count — and across runner implementations —
+// rests on three invariants: every draw on the engine RNG (selection,
+// dropout) happens before the fan-out, in selection order; each client
+// trains an isolated replica under its own deterministically seeded RNG,
+// touching no shared mutable state; and aggregation consumes updates in
+// selection order regardless of which worker finished first.
 func (e *Engine) runRound(t, r int) error {
 	selected := e.selectClients()
 
 	// Phase 1 (serial): fix the round's participant set and all per-client
 	// inputs. The global model is only read here, never written.
-	jobs := make([]localJob, 0, len(selected))
+	jobs := make([]Job, 0, len(selected))
 	for _, c := range selected {
 		ds := e.clientData(c)
 		if ds == nil || ds.Len() == 0 {
@@ -366,19 +388,11 @@ func (e *Engine) runRound(t, r int) error {
 		if e.cfg.DropoutProb > 0 && e.rng.Float64() < e.cfg.DropoutProb {
 			continue // client failed to report back this round
 		}
-		jobs = append(jobs, localJob{
-			ctx: &LocalContext{
-				ClientID:   c.id,
-				Task:       t,
-				ClientTask: c.task,
-				Group:      c.group,
-				Data:       ds,
-				Epochs:     e.cfg.Epochs,
-				BatchSize:  e.cfg.BatchSize,
-				LR:         e.cfg.LR,
-				Rng:        rand.New(rand.NewSource(e.cfg.Seed ^ int64(c.id)<<20 ^ int64(t)<<10 ^ int64(r))),
-			},
-			weight: float64(ds.Len()),
+		spec := e.jobSpec(c, t, r)
+		jobs = append(jobs, Job{
+			Ctx:    spec.NewLocalContext(ds),
+			Spec:   spec,
+			Weight: float64(ds.Len()),
 		})
 	}
 	if len(jobs) == 0 {
@@ -387,10 +401,14 @@ func (e *Engine) runRound(t, r int) error {
 		return nil
 	}
 
-	// Phase 2 (parallel): train each participant on its own replica.
-	results := make([]localResult, len(jobs))
-	if err := e.trainClients(jobs, results); err != nil {
+	// Phase 2 (parallel, possibly remote): train each participant on its
+	// own replica.
+	results, err := e.runner.Run(jobs)
+	if err != nil {
 		return err
+	}
+	if len(results) != len(jobs) {
+		return fmt.Errorf("fl: runner returned %d results for %d jobs", len(results), len(jobs))
 	}
 
 	// Phase 3 (serial): aggregate in selection order and run server hooks.
@@ -398,10 +416,10 @@ func (e *Engine) runRound(t, r int) error {
 	weights := make([]float64, len(jobs))
 	var uploads []Upload
 	for i, res := range results {
-		dicts[i] = res.dict
-		weights[i] = jobs[i].weight
-		if res.upload != nil {
-			uploads = append(uploads, res.upload)
+		dicts[i] = res.Dict
+		weights[i] = jobs[i].Weight
+		if res.Upload != nil {
+			uploads = append(uploads, res.Upload)
 		}
 	}
 	avg, err := WeightedAverage(dicts, weights)
@@ -417,77 +435,45 @@ func (e *Engine) runRound(t, r int) error {
 	return nil
 }
 
-// trainClients runs every job on an isolated Spawn replica, fanning out
-// across the configured worker pool, and fills results[i] with job i's
-// trained state. The first error wins; remaining jobs are drained.
-func (e *Engine) trainClients(jobs []localJob, results []localResult) error {
-	workers := e.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+// jobSpec builds the wire-serializable description of client c's job for
+// round r of task t, mirroring clientData's shard selection.
+func (e *Engine) jobSpec(c *client, t, r int) JobSpec {
+	spec := JobSpec{
+		ClientID:   c.id,
+		Task:       t,
+		ClientTask: c.task,
+		Group:      c.group,
+		Round:      r,
+		Epochs:     e.cfg.Epochs,
+		BatchSize:  e.cfg.BatchSize,
+		LR:         e.cfg.LR,
+		RngSeed:    ClientSeed(e.cfg.Seed, c.id, t, r),
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	runJob := func(i int) error {
-		job := jobs[i]
-		rep, err := e.alg.Spawn()
-		if err != nil {
-			return fmt.Errorf("fl: spawning replica for client %d: %w", job.ctx.ClientID, err)
+	if c.group == GroupInBetween {
+		if _, ok := c.shards[c.task-1]; ok {
+			spec.Shards = append(spec.Shards, e.shardSpec(c, c.task-1))
 		}
-		up, err := rep.LocalTrain(job.ctx)
-		if err != nil {
-			return fmt.Errorf("fl: client %d local training: %w", job.ctx.ClientID, err)
-		}
-		results[i] = localResult{dict: nn.StateDict(rep.Global()), upload: up}
-		return nil
 	}
+	spec.Shards = append(spec.Shards, e.shardSpec(c, c.task))
+	return spec
+}
 
-	if workers == 1 {
-		for i := range jobs {
-			if err := runJob(i); err != nil {
-				return err
-			}
-		}
-		return nil
+// shardSpec describes client c's shard of the given task's partition.
+func (e *Engine) shardSpec(c *client, task int) ShardSpec {
+	ref := c.partRefs[task]
+	return ShardSpec{
+		Dataset:        e.family.Name,
+		Image:          e.family.Size,
+		Domain:         e.domains[task],
+		Task:           task,
+		TrainPerDomain: e.cfg.TrainPerDomain,
+		TestPerDomain:  e.cfg.TestPerDomain,
+		GenSeed:        TaskSeed(e.cfg.Seed, task),
+		Learners:       ref.learners,
+		Index:          ref.index,
+		Alpha:          e.cfg.Alpha,
+		PartSeed:       PartitionSeed(e.cfg.Seed, task),
 	}
-
-	// Reserve kernel-helper tokens for the engine workers so the matmul/conv
-	// fan-out inside each client's training cannot oversubscribe the machine:
-	// total compute goroutines stay bounded by the processor count.
-	reserved := parallel.Reserve(workers - 1)
-	defer parallel.Release(reserved)
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				// Once any client fails the round is lost; drain the
-				// remaining jobs without paying for their local epochs.
-				if failed.Load() {
-					continue
-				}
-				if err := runJob(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
 }
 
 // selectClients samples min(SelectPerRound, pool) distinct participants.

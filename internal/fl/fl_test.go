@@ -50,6 +50,53 @@ func TestWeightedAverageIdentityOnEqualDicts(t *testing.T) {
 	}
 }
 
+// TestWeightedAverageShardedMatchesSerial pins the sharded reduction's
+// bit-identity contract: key-sharding across internal/parallel must yield
+// exactly (==, not within a tolerance) the serial per-key accumulation.
+// The reference below is the pre-sharding implementation; the many-key
+// dict drives chunk counts past one even at small grains.
+func TestWeightedAverageShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const clients, keys = 7, 64
+	dicts := make([]map[string]*tensor.Tensor, clients)
+	weights := make([]float64, clients)
+	for c := range dicts {
+		d := make(map[string]*tensor.Tensor, keys)
+		for k := 0; k < keys; k++ {
+			d[fmt.Sprintf("layer%02d.w", k)] = tensor.RandN(rng, 1, 5, 3)
+		}
+		dicts[c] = d
+		weights[c] = 0.5 + rng.Float64()
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	want := make(map[string]*tensor.Tensor, keys)
+	for name, first := range dicts[0] {
+		acc := tensor.New(first.Shape()...)
+		for c, d := range dicts {
+			acc.AddScaledInPlace(weights[c]/total, d[name])
+		}
+		want[name] = acc
+	}
+	got, err := WeightedAverage(dicts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded average has %d entries, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g := got[name]
+		for i, v := range w.Data() {
+			if g.Data()[i] != v {
+				t.Fatalf("entry %q diverged at element %d: %v vs %v", name, i, g.Data()[i], v)
+			}
+		}
+	}
+}
+
 func TestWeightedAverageErrors(t *testing.T) {
 	d := map[string]*tensor.Tensor{"w": tensor.Ones(2)}
 	if _, err := WeightedAverage(nil, nil); err == nil {

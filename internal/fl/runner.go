@@ -1,0 +1,290 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"reffil/internal/data"
+	"reffil/internal/nn"
+	"reffil/internal/parallel"
+	"reffil/internal/tensor"
+)
+
+// Job is one selected client's unit of work for a communication round: the
+// engine fixes every input before the fan-out, so any Runner — in-process
+// or networked — executes an identical, self-contained computation.
+type Job struct {
+	// Ctx is the fully materialized local context (shard included). It is
+	// what in-process runners consume; it never crosses a network.
+	Ctx *LocalContext
+	// Spec is the wire-serializable description of the same work: remote
+	// runners ship it to workers, which re-derive the shard and RNG from
+	// the spec and must reproduce Ctx bit-for-bit.
+	Spec JobSpec
+	// Weight is the client's FedAvg weight (its local dataset size).
+	Weight float64
+}
+
+// Result is what a Runner hands back for one Job: the trained replica's
+// state dict (the client's FedAvg payload) and the method-specific upload.
+type Result struct {
+	Dict   map[string]*tensor.Tensor
+	Upload Upload
+}
+
+// Runner executes all of one round's local-training jobs and returns their
+// results in job order. The contract every implementation must honour for
+// the engine's determinism guarantee:
+//
+//   - results[i] corresponds to jobs[i], regardless of execution order or
+//     placement;
+//   - each job trains an isolated replica of the algorithm's current global
+//     state (Spawn semantics), seeded only by its own Spec/Ctx;
+//   - no job observes another job's mutations.
+//
+// Under those rules the in-process worker pool and a TCP fan-out across
+// machines produce identical accuracy matrices for the same seed.
+type Runner interface {
+	Run(jobs []Job) ([]Result, error)
+}
+
+// WireStater is implemented by algorithms whose LocalTrain reads
+// server-side state living outside Global()'s state dict — LwF's frozen
+// distillation teacher, EWC's consolidated Fisher/anchor maps, RefFiL's
+// clustered prompt bank and task counter. Networked runners broadcast the
+// encoded state each round; workers load it before training so that their
+// replicas match the server's Spawn replicas exactly. Algorithms whose
+// mutable state is entirely inside Global() need not implement it.
+type WireStater interface {
+	EncodeWireState() ([]byte, error)
+	LoadWireState(b []byte) error
+}
+
+// UploadCoder is implemented by algorithms whose LocalTrain returns a
+// non-nil Upload (RefFiL's per-class local prompt groups) so networked
+// runners can move uploads across the wire. Encode runs on the worker,
+// Decode on the coordinator; Decode(Encode(u)) must be equivalent to u as
+// seen by ServerRound.
+type UploadCoder interface {
+	EncodeUpload(up Upload) ([]byte, error)
+	DecodeUpload(b []byte) (Upload, error)
+}
+
+// TaskSeed derives the deterministic data-generation seed for a task from
+// the run seed. Coordinator and workers use the same derivation, so domain
+// datasets are regenerated identically on every machine and never cross
+// the wire.
+func TaskSeed(seed int64, task int) int64 { return seed + int64(task)*1000 }
+
+// PartitionSeed derives the RNG seed for quantity-shift partitioning of a
+// task's domain among its learners. It is independent of the engine's
+// ambient RNG stream precisely so that remote workers can re-run the
+// partition from the spec alone.
+func PartitionSeed(seed int64, task int) int64 {
+	const mix = 0x9E3779B97F4A7C15 // splitmix64 increment
+	return int64(uint64(seed) ^ uint64(task+1)*mix)
+}
+
+// ClientSeed derives the local-training RNG seed for one client in one
+// round.
+func ClientSeed(seed int64, clientID, task, round int) int64 {
+	return seed ^ int64(clientID)<<20 ^ int64(task)<<10 ^ int64(round)
+}
+
+// ShardSpec pinpoints one client's training shard of one task without
+// carrying any data: dataset family, domain, generation seed, and the
+// shard's coordinates inside the deterministic quantity-shift partition.
+// Materialize reconstructs the exact shard the engine partitioned.
+type ShardSpec struct {
+	// Dataset and Image identify the synthetic family (data.NewFamily).
+	Dataset string
+	Image   int
+	// Domain is the task's domain name; Task its incremental index.
+	Domain string
+	Task   int
+	// TrainPerDomain/TestPerDomain size the generated datasets; both are
+	// needed because generation draws them from one RNG stream.
+	TrainPerDomain, TestPerDomain int
+	// GenSeed seeds dataset generation (TaskSeed of the run seed).
+	GenSeed int64
+	// Learners is how many clients partitioned this task's domain, Index
+	// this client's slot, Alpha the quantity-shift exponent and PartSeed
+	// the partition RNG seed (PartitionSeed of the run seed).
+	Learners int
+	Index    int
+	Alpha    float64
+	PartSeed int64
+}
+
+// Materialize regenerates the shard described by the spec: generate the
+// domain's training set, re-run the quantity-shift partition, take this
+// client's slot and tag it with the task index — byte-identical to the
+// shard the coordinator's engine holds.
+func (s ShardSpec) Materialize() (*data.Dataset, error) {
+	family, err := data.NewFamily(s.Dataset, s.Image)
+	if err != nil {
+		return nil, fmt.Errorf("fl: shard spec family: %w", err)
+	}
+	train, _, err := family.Generate(s.Domain, s.TrainPerDomain, s.TestPerDomain, s.GenSeed)
+	if err != nil {
+		return nil, fmt.Errorf("fl: shard spec generate %s/%s: %w", s.Dataset, s.Domain, err)
+	}
+	shards, err := data.PartitionQuantityShift(train, s.Learners, s.Alpha, rand.New(rand.NewSource(s.PartSeed)))
+	if err != nil {
+		return nil, fmt.Errorf("fl: shard spec partition: %w", err)
+	}
+	if s.Index < 0 || s.Index >= len(shards) {
+		return nil, fmt.Errorf("fl: shard index %d outside partition of %d", s.Index, len(shards))
+	}
+	sh := shards[s.Index]
+	sh.SetTask(s.Task)
+	return sh, nil
+}
+
+// JobSpec is the wire form of one client's job: identity, group, round,
+// local-SGD hyperparameters, the RNG seed, and the shard coordinates to
+// derive its data from — everything a remote worker needs, with no tensors
+// and no datasets attached.
+type JobSpec struct {
+	ClientID   int
+	Task       int
+	ClientTask int
+	Group      Group
+	Round      int
+
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// RngSeed seeds the client's local-training randomness
+	// (ClientSeed of the run seed).
+	RngSeed int64
+
+	// Shards lists the data shards merged, in order, into the client's
+	// local dataset: one for Old/New clients, two (previous then current
+	// task) for In-between clients.
+	Shards []ShardSpec
+}
+
+// MergeShards combines a client's materialized shards into its local
+// training set, mirroring the engine's In-between concatenation
+// (Algorithm 1 line 17).
+func MergeShards(clientID int, shards []*data.Dataset) *data.Dataset {
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	return data.Merge(fmt.Sprintf("client%d/both", clientID), shards...)
+}
+
+// NewLocalContext assembles the LocalContext for this spec over an already
+// materialized dataset (see Materialize/MergeShards).
+func (j JobSpec) NewLocalContext(ds *data.Dataset) *LocalContext {
+	return &LocalContext{
+		ClientID:   j.ClientID,
+		Task:       j.Task,
+		ClientTask: j.ClientTask,
+		Group:      j.Group,
+		Data:       ds,
+		Epochs:     j.Epochs,
+		BatchSize:  j.BatchSize,
+		LR:         j.LR,
+		Rng:        rand.New(rand.NewSource(j.RngSeed)),
+	}
+}
+
+// LocalRunner trains each job on an isolated Spawn replica of Alg across an
+// in-process worker pool. It is the engine's default Runner and also the
+// execution core of networked federation workers (a fedworker handling a
+// multi-job broadcast runs its slice of the round through the same pool).
+type LocalRunner struct {
+	// Alg is the parent algorithm replicas are spawned from.
+	Alg Algorithm
+	// Workers caps concurrent jobs; 0 means runtime.NumCPU(), 1 is the
+	// sequential path. Results are identical at every worker count.
+	Workers int
+}
+
+// Run implements Runner. The first error wins; remaining jobs are drained.
+func (lr *LocalRunner) Run(jobs []Job) ([]Result, error) {
+	if lr.Alg == nil {
+		return nil, fmt.Errorf("fl: local runner has no algorithm")
+	}
+	results := make([]Result, len(jobs))
+	workers := lr.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runJob := func(i int) error {
+		job := jobs[i]
+		if job.Ctx == nil {
+			return fmt.Errorf("fl: job %d has no local context", i)
+		}
+		rep, err := lr.Alg.Spawn()
+		if err != nil {
+			return fmt.Errorf("fl: spawning replica for client %d: %w", job.Ctx.ClientID, err)
+		}
+		up, err := rep.LocalTrain(job.Ctx)
+		if err != nil {
+			return fmt.Errorf("fl: client %d local training: %w", job.Ctx.ClientID, err)
+		}
+		results[i] = Result{Dict: nn.StateDict(rep.Global()), Upload: up}
+		return nil
+	}
+
+	if workers <= 1 {
+		for i := range jobs {
+			if err := runJob(i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	// Reserve kernel-helper tokens for the pool workers so the matmul/conv
+	// fan-out inside each client's training cannot oversubscribe the
+	// machine: total compute goroutines stay bounded by the processor count.
+	reserved := parallel.Reserve(workers - 1)
+	defer parallel.Release(reserved)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Once any client fails the round is lost; drain the
+				// remaining jobs without paying for their local epochs.
+				if failed.Load() {
+					continue
+				}
+				if err := runJob(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+var _ Runner = (*LocalRunner)(nil)

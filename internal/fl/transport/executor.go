@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"fmt"
+
+	"reffil/internal/data"
+	"reffil/internal/fl"
+	"reffil/internal/nn"
+)
+
+// Executor is the worker side of a networked federation round: given a
+// broadcast, it installs the coordinator's global state and method wire
+// state into its local algorithm instance, derives each assigned job's
+// data shard from its spec (no data crosses the wire), and runs its slice
+// of the round through the same fl.LocalRunner worker pool the in-process
+// engine uses — Spawn replicas, per-job seeded RNGs, results in job order.
+//
+// The algorithm must be constructed exactly as the coordinator's (same
+// method, model config, task horizon and construction seed): broadcast
+// state only covers Global()'s state dict plus the wire state, so any
+// architecture or frozen-initialization mismatch would diverge.
+type Executor struct {
+	alg fl.Algorithm
+	// workers caps concurrent jobs per broadcast (fl.LocalRunner
+	// semantics: 0 means NumCPU).
+	workers int
+	// shards caches materialized shards across rounds: a client's shard of
+	// one task is immutable, and re-deriving it every round would regenerate
+	// the domain dataset each time.
+	shards map[fl.ShardSpec]*data.Dataset
+}
+
+// NewExecutor builds an executor over the worker's algorithm instance.
+func NewExecutor(alg fl.Algorithm, workers int) (*Executor, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("transport: executor needs an algorithm")
+	}
+	return &Executor{alg: alg, workers: workers, shards: make(map[fl.ShardSpec]*data.Dataset)}, nil
+}
+
+// Handle executes one broadcast's job assignment and returns the update;
+// pass it to Worker.Serve.
+func (e *Executor) Handle(b Broadcast) (Update, error) {
+	state, err := FromWire(b.State)
+	if err != nil {
+		return Update{}, fmt.Errorf("broadcast state: %w", err)
+	}
+	if err := nn.LoadStateDict(e.alg.Global(), state); err != nil {
+		return Update{}, fmt.Errorf("installing broadcast state: %w", err)
+	}
+	if ws, ok := e.alg.(fl.WireStater); ok {
+		if err := ws.LoadWireState(b.Payload); err != nil {
+			return Update{}, fmt.Errorf("installing wire state: %w", err)
+		}
+	} else if len(b.Payload) > 0 {
+		return Update{}, fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(b.Payload))
+	}
+
+	jobs := make([]fl.Job, len(b.Jobs))
+	for i, spec := range b.Jobs {
+		ds, err := e.dataset(spec)
+		if err != nil {
+			return Update{}, fmt.Errorf("job %d (client %d): %w", i, spec.ClientID, err)
+		}
+		jobs[i] = fl.Job{Ctx: spec.NewLocalContext(ds), Spec: spec, Weight: float64(ds.Len())}
+	}
+	if len(jobs) == 0 {
+		return Update{}, nil
+	}
+	pool := &fl.LocalRunner{Alg: e.alg, Workers: e.workers}
+	results, err := pool.Run(jobs)
+	if err != nil {
+		return Update{}, err
+	}
+	out := make([]JobResult, len(results))
+	for i, res := range results {
+		jr := JobResult{Index: i, State: ToWire(res.Dict)}
+		if res.Upload != nil {
+			uc, ok := e.alg.(fl.UploadCoder)
+			if !ok {
+				return Update{}, fmt.Errorf("%s produced an upload it cannot encode", e.alg.Name())
+			}
+			jr.Upload, err = uc.EncodeUpload(res.Upload)
+			if err != nil {
+				return Update{}, fmt.Errorf("job %d upload: %w", i, err)
+			}
+		}
+		out[i] = jr
+	}
+	return Update{Results: out}, nil
+}
+
+// dataset materializes (or fetches from cache) the job's local dataset.
+func (e *Executor) dataset(spec fl.JobSpec) (*data.Dataset, error) {
+	shards := make([]*data.Dataset, len(spec.Shards))
+	for i, s := range spec.Shards {
+		sh, ok := e.shards[s]
+		if !ok {
+			var err error
+			sh, err = s.Materialize()
+			if err != nil {
+				return nil, err
+			}
+			e.shards[s] = sh
+		}
+		shards[i] = sh
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("job spec for client %d carries no shards", spec.ClientID)
+	}
+	return fl.MergeShards(spec.ClientID, shards), nil
+}

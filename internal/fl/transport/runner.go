@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"fmt"
+
+	"reffil/internal/fl"
+	"reffil/internal/nn"
+)
+
+// Runner is the transport-backed fl.Runner: it fans one round's jobs out
+// across the coordinator's connected workers over TCP and maps the replies
+// back into job order, so an fl.Engine built on it runs every paper
+// scenario multi-node with the same mechanics — and the same numbers — as
+// the in-process pool.
+//
+// Per round it broadcasts the algorithm's current global state dict plus
+// its encoded wire state (fl.WireStater) to every worker, with jobs
+// assigned round-robin by worker slot. Assignment never affects results:
+// each job is a self-contained deterministic computation (see fl.Runner),
+// so any placement produces the same accuracy matrix.
+type Runner struct {
+	coord *Coordinator
+	alg   fl.Algorithm
+}
+
+// NewRunner wraps a coordinator and the engine's algorithm instance. The
+// algorithm must be the same instance the fl.Engine aggregates into —
+// Run reads its Global() state and wire state at each round's start.
+func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("transport: runner needs a coordinator")
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("transport: runner needs an algorithm")
+	}
+	return &Runner{coord: coord, alg: alg}, nil
+}
+
+// Run implements fl.Runner over the wire.
+func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	n := r.coord.NumWorkers()
+	if n == 0 {
+		return nil, fmt.Errorf("transport: no connected workers to run %d jobs", len(jobs))
+	}
+	state := ToWire(nn.StateDict(r.alg.Global()))
+	var payload []byte
+	if ws, ok := r.alg.(fl.WireStater); ok {
+		var err error
+		payload, err = ws.EncodeWireState()
+		if err != nil {
+			return nil, fmt.Errorf("transport: encoding wire state: %w", err)
+		}
+	}
+
+	// Round-robin job assignment by worker slot; assign[w][k] is the round
+	// index of worker w's k-th job.
+	assign := make([][]int, n)
+	for i := range jobs {
+		w := i % n
+		assign[w] = append(assign[w], i)
+	}
+	bs := make([]Broadcast, n)
+	for w := range bs {
+		specs := make([]fl.JobSpec, len(assign[w]))
+		for k, ji := range assign[w] {
+			specs[k] = jobs[ji].Spec
+		}
+		bs[w] = Broadcast{
+			Task:    jobs[0].Spec.Task,
+			Round:   jobs[0].Spec.Round,
+			State:   state,
+			Payload: payload,
+			Jobs:    specs,
+		}
+	}
+
+	updates, err := r.coord.RoundEach(bs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]fl.Result, len(jobs))
+	for w, u := range updates {
+		if len(u.Results) != len(assign[w]) {
+			return nil, fmt.Errorf("transport: worker %d returned %d results for %d jobs", w, len(u.Results), len(assign[w]))
+		}
+		for k, jr := range u.Results {
+			if jr.Index != k {
+				return nil, fmt.Errorf("transport: worker %d result %d claims job slot %d", w, k, jr.Index)
+			}
+			dict, err := FromWire(jr.State)
+			if err != nil {
+				return nil, fmt.Errorf("transport: worker %d job %d state: %w", w, k, err)
+			}
+			var up fl.Upload
+			if len(jr.Upload) > 0 {
+				uc, ok := r.alg.(fl.UploadCoder)
+				if !ok {
+					return nil, fmt.Errorf("transport: worker %d sent an upload but %s cannot decode uploads", w, r.alg.Name())
+				}
+				up, err = uc.DecodeUpload(jr.Upload)
+				if err != nil {
+					return nil, fmt.Errorf("transport: worker %d job %d upload: %w", w, k, err)
+				}
+			}
+			results[assign[w][k]] = fl.Result{Dict: dict, Upload: up}
+		}
+	}
+	return results, nil
+}
+
+var _ fl.Runner = (*Runner)(nil)

@@ -1,0 +1,219 @@
+// Cross-runner determinism coverage: the acceptance gate for the pluggable
+// round Runner. For every method the in-process LocalRunner and a real TCP
+// fan-out over 127.0.0.1 must produce identical accuracy matrices for the
+// same (dataset, domain, seed, workers) — the networked path runs the same
+// engine, derives the same shards from specs, and trains the same replicas.
+//
+// Lives in an external test package so it can drive the real algorithms
+// (core/baselines import fl; importing them from package transport itself
+// would blur the layering even though no cycle exists).
+package transport_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"reffil/internal/data"
+	"reffil/internal/experiments"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/model"
+)
+
+// crossRunnerConfig is deliberately tiny: enough tasks/rounds/clients to
+// exercise selection, the In-between shard merge, wire state for every
+// method, and multi-job broadcasts (SelectPerRound > worker count), small
+// enough for -race.
+func crossRunnerConfig() fl.Config {
+	return fl.Config{
+		Rounds:            2,
+		Epochs:            1,
+		BatchSize:         8,
+		LR:                0.05,
+		InitialClients:    4,
+		SelectPerRound:    3,
+		ClientsPerTaskInc: 1,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    24,
+		TestPerDomain:     12,
+		EvalBatch:         12,
+		Seed:              2025,
+		Workers:           2,
+	}
+}
+
+// runLocal executes the full task sequence on the in-process runner.
+func runLocal(t *testing.T, method string, family *data.Family, domains []string) [][]float64 {
+	t.Helper()
+	alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fl.NewEngine(crossRunnerConfig(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mat.A
+}
+
+// runTCP executes the same sequence with a transport Runner over loopback:
+// nWorkers goroutine "machines", each speaking only gob-over-TCP through an
+// Executor around its own independently constructed algorithm instance.
+func runTCP(t *testing.T, method string, family *data.Family, domains []string, nWorkers int) [][]float64 {
+	t.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	workerErr := make([]error, nWorkers)
+	for id := 0; id < nWorkers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			ex, err := transport.NewExecutor(alg, 1)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			w, err := transport.Dial(coord.Addr(), id)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			defer w.Close()
+			workerErr[id] = w.Serve(ex.Handle)
+		}(id)
+	}
+	if err := coord.Accept(nWorkers, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := transport.NewRunner(coord, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for id, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+	return mat.A
+}
+
+// TestCrossRunnerDeterminism asserts exact (==) equality of the accuracy
+// matrices from the local and loopback-TCP runners for all six -method
+// algorithms.
+func TestCrossRunnerDeterminism(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	methods := experiments.MethodFlags()
+	if testing.Short() {
+		methods = []string{"reffil", "lwf"}
+	}
+	for _, method := range methods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			local := runLocal(t, method, family, domains)
+			remote := runTCP(t, method, family, domains, 2)
+			// Only the lower triangle is recorded (task i is evaluated on
+			// domains 0..i); the rest stays NaN.
+			for i := range local {
+				for j := 0; j <= i; j++ {
+					if local[i][j] != remote[i][j] {
+						t.Fatalf("accuracy matrix diverged at [%d][%d]: local %v vs TCP %v",
+							i, j, local[i][j], remote[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardSpecMaterializeMatchesPartition pins the data-derivation
+// contract: a worker materializing a ShardSpec must recover exactly the
+// shard the engine partitioned, for every slot of the partition.
+func TestShardSpecMaterializeMatchesPartition(t *testing.T) {
+	const (
+		seed     = int64(41)
+		task     = 1
+		learners = 3
+	)
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := family.Generate(family.Domains[task], 30, 10, fl.TaskSeed(seed, task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := data.PartitionQuantityShift(train, learners, 0.5,
+		rand.New(rand.NewSource(fl.PartitionSeed(seed, task))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, want := range shards {
+		want.SetTask(task)
+		got, err := fl.ShardSpec{
+			Dataset:        "pacs",
+			Image:          16,
+			Domain:         family.Domains[task],
+			Task:           task,
+			TrainPerDomain: 30,
+			TestPerDomain:  10,
+			GenSeed:        fl.TaskSeed(seed, task),
+			Learners:       learners,
+			Index:          idx,
+			Alpha:          0.5,
+			PartSeed:       fl.PartitionSeed(seed, task),
+		}.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("shard %d: materialized %d examples, engine holds %d", idx, got.Len(), want.Len())
+		}
+		for i := range want.Examples {
+			w, g := want.Examples[i], got.Examples[i]
+			if w.Y != g.Y || w.Task != g.Task {
+				t.Fatalf("shard %d example %d: label/task mismatch", idx, i)
+			}
+			if !w.X.AllClose(g.X, 0) {
+				t.Fatalf("shard %d example %d: pixel data diverged", idx, i)
+			}
+		}
+	}
+}

@@ -1,13 +1,16 @@
-// Package transport provides a real network transport for the federated
-// runtime: a coordinator (server) broadcasts global model state to workers
-// over TCP, workers train locally and reply with weighted updates, and the
-// coordinator aggregates. Messages are gob-encoded; tensors cross the wire
-// as shape+data pairs.
+// Package transport provides the networked federation path: a coordinator
+// (fedserver) broadcasts global model state plus per-client job framing to
+// workers over TCP, workers derive each job's shard locally, train, and
+// reply with weighted updates, and the coordinator aggregates. Messages
+// are gob-encoded and versioned; tensors cross the wire as shape+data
+// pairs and datasets never cross it at all (see fl.ShardSpec).
 //
-// The in-process engine (package fl) is the default for experiments because
-// it is deterministic and fast; this package exists to demonstrate and test
-// that the same state dicts and payloads federate across real connections
-// (see examples/tcp_federation).
+// The package plugs into the engine through Runner (the coordinator side
+// of fl.Runner) and Executor (the worker side): the full fl.Engine — the
+// client-increment strategy, per-round selection, dropout, FedAvg and the
+// method's server hooks — drives a real federation exactly as it drives
+// the in-process worker pool, with bit-identical accuracy matrices for the
+// same seed.
 package transport
 
 import (
@@ -17,8 +20,15 @@ import (
 	"sync"
 	"time"
 
+	"reffil/internal/fl"
 	"reffil/internal/tensor"
 )
+
+// ProtocolVersion tags every Broadcast and Update. Both ends reject frames
+// from a different version instead of mis-decoding them: gob is
+// self-describing enough to decode across incompatible semantic revisions
+// of the message structs, so the guard has to be explicit.
+const ProtocolVersion = 2
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -56,25 +66,46 @@ func FromWire(w map[string]WireTensor) (map[string]*tensor.Tensor, error) {
 
 // Broadcast is the coordinator-to-worker message for one round.
 type Broadcast struct {
+	// Version is the wire protocol revision; stamped by the coordinator,
+	// checked by workers.
+	Version     int
 	Task, Round int
 	State       map[string]WireTensor
-	// Payload carries method-specific broadcast data (e.g. RefFiL's
-	// clustered global prompts), already serialized by the method.
+	// Payload carries the method's server-side wire state (fl.WireStater):
+	// LwF's distillation teacher, EWC's Fisher/anchor maps, RefFiL's
+	// clustered prompt bank and task counter.
 	Payload []byte
+	// Jobs frames the local-training jobs assigned to this worker for the
+	// round: client id, group, round, and the domain/seed coordinates the
+	// worker derives its data shard from. Workers with no jobs this round
+	// receive an empty list and reply with an empty Results list.
+	Jobs []fl.JobSpec
 	// Done tells workers to exit their serve loop.
 	Done bool
 }
 
+// JobResult is one executed job's reply.
+type JobResult struct {
+	// Index is the job's position in the broadcast's Jobs list; the
+	// coordinator validates it when mapping results back to round order.
+	Index int
+	// State is the trained replica's state dict (the FedAvg payload).
+	State map[string]WireTensor
+	// Upload is the method-specific upload, encoded by fl.UploadCoder
+	// (empty when the method uploads nothing).
+	Upload []byte
+}
+
 // Update is the worker-to-coordinator reply.
 type Update struct {
+	// Version is stamped by the worker and checked by the coordinator.
+	Version  int
 	WorkerID int
-	// Weight is the FedAvg weight (local dataset size).
-	Weight float64
-	State  map[string]WireTensor
-	// Payload carries method-specific upload data (e.g. prompt groups).
-	Payload []byte
-	// Skip marks a worker that sat this round out (e.g. no local data).
-	Skip bool
+	// Results holds one entry per broadcast job, in job order.
+	Results []JobResult
+	// Error reports a worker-side failure for the round; the coordinator
+	// fails the round with it instead of hanging on a dead connection.
+	Error string
 }
 
 // Coordinator runs the server side of a federation.
@@ -122,14 +153,44 @@ func (c *Coordinator) Accept(n int, timeout time.Duration) error {
 	return nil
 }
 
-// Round broadcasts to every worker and collects one update from each.
-// Worker updates arrive concurrently; the returned order is by worker slot.
+// NumWorkers returns how many workers are connected.
+func (c *Coordinator) NumWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Round sends the same broadcast to every worker and collects one update
+// from each; see RoundEach for per-worker framing.
 func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
+	c.mu.Lock()
+	n := len(c.workers)
+	c.mu.Unlock()
+	if n == 0 {
+		return nil, fmt.Errorf("transport: no connected workers")
+	}
+	bs := make([]Broadcast, n)
+	for i := range bs {
+		bs[i] = b
+	}
+	return c.RoundEach(bs)
+}
+
+// RoundEach sends bs[i] to worker slot i (one broadcast per connected
+// worker, carrying that worker's job assignment) and collects one update
+// from each. Outgoing broadcasts are stamped with ProtocolVersion;
+// incoming updates are rejected on version mismatch or a worker-reported
+// error. Worker updates arrive concurrently; the returned order is by
+// worker slot.
+func (c *Coordinator) RoundEach(bs []Broadcast) ([]Update, error) {
 	c.mu.Lock()
 	workers := append([]*wireConn(nil), c.workers...)
 	c.mu.Unlock()
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("transport: no connected workers")
+	}
+	if len(bs) != len(workers) {
+		return nil, fmt.Errorf("transport: %d broadcasts for %d workers", len(bs), len(workers))
 	}
 	updates := make([]Update, len(workers))
 	errs := make([]error, len(workers))
@@ -138,6 +199,8 @@ func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
 		wg.Add(1)
 		go func(i int, w *wireConn) {
 			defer wg.Done()
+			b := bs[i]
+			b.Version = ProtocolVersion
 			if err := w.enc.Encode(b); err != nil {
 				errs[i] = fmt.Errorf("transport: sending to worker %d: %w", i, err)
 				return
@@ -147,6 +210,14 @@ func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
 			}
 			if err := w.dec.Decode(&updates[i]); err != nil {
 				errs[i] = fmt.Errorf("transport: receiving from worker %d: %w", i, err)
+				return
+			}
+			if msg := updates[i].Error; msg != "" {
+				errs[i] = fmt.Errorf("transport: worker %d: %s", i, msg)
+				return
+			}
+			if v := updates[i].Version; v != ProtocolVersion {
+				errs[i] = fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator v%d", i, v, ProtocolVersion)
 			}
 		}(i, w)
 	}
@@ -157,6 +228,12 @@ func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
 		}
 	}
 	return updates, nil
+}
+
+// Shutdown tells every worker to exit its serve loop.
+func (c *Coordinator) Shutdown() error {
+	_, err := c.Round(Broadcast{Done: true})
+	return err
 }
 
 // Close shuts the coordinator and all worker connections down.
@@ -189,7 +266,11 @@ func Dial(addr string, id int) (*Worker, error) {
 
 // Serve processes broadcasts with handle until the coordinator sends Done
 // or the connection closes. handle receives each broadcast and returns the
-// update to send back.
+// update to send back; outgoing updates are stamped with the worker id and
+// ProtocolVersion. A broadcast from a different protocol version, or a
+// handler error, is reported to the coordinator as an error Update and
+// then surfaced as Serve's own error — the worker does not try to keep
+// decoding a stream it may be misreading.
 func (w *Worker) Serve(handle func(Broadcast) (Update, error)) error {
 	for {
 		var b Broadcast
@@ -199,13 +280,26 @@ func (w *Worker) Serve(handle func(Broadcast) (Update, error)) error {
 		if b.Done {
 			return nil
 		}
-		u, err := handle(b)
-		if err != nil {
-			return fmt.Errorf("transport: worker %d handler: %w", w.id, err)
+		var fatal error
+		var u Update
+		if b.Version != ProtocolVersion {
+			fatal = fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator sent v%d", w.id, ProtocolVersion, b.Version)
+			u = Update{Error: fatal.Error()}
+		} else {
+			var err error
+			u, err = handle(b)
+			if err != nil {
+				fatal = fmt.Errorf("transport: worker %d handler: %w", w.id, err)
+				u = Update{Error: err.Error()}
+			}
 		}
 		u.WorkerID = w.id
+		u.Version = ProtocolVersion
 		if err := w.enc.Encode(u); err != nil {
 			return fmt.Errorf("transport: worker %d send: %w", w.id, err)
+		}
+		if fatal != nil {
+			return fatal
 		}
 	}
 }

@@ -1,7 +1,12 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math/rand"
+	"net"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -84,7 +89,7 @@ func TestFederationOverTCP(t *testing.T) {
 						v.Data()[j] += float64(id + 1)
 					}
 				}
-				return Update{Weight: float64(id + 1), State: ToWire(state)}, nil
+				return Update{Results: []JobResult{{Index: 0, State: ToWire(state)}}}, nil
 			})
 		}(i)
 	}
@@ -97,18 +102,20 @@ func TestFederationOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Accept order (slot order) is racy, so recover each update's delta
+	// weight from the worker id Serve stamped on it.
 	var dicts []map[string]*tensor.Tensor
 	var weights []float64
 	for _, u := range updates {
-		if u.Skip {
-			continue
+		if len(u.Results) != 1 {
+			t.Fatalf("worker %d sent %d results, want 1", u.WorkerID, len(u.Results))
 		}
-		d, err := FromWire(u.State)
+		d, err := FromWire(u.Results[0].State)
 		if err != nil {
 			t.Fatal(err)
 		}
 		dicts = append(dicts, d)
-		weights = append(weights, u.Weight)
+		weights = append(weights, float64(u.WorkerID+1))
 	}
 	avg, err := fl.WeightedAverage(dicts, weights)
 	if err != nil {
@@ -122,7 +129,7 @@ func TestFederationOverTCP(t *testing.T) {
 	}
 
 	// Shut workers down and confirm clean exits.
-	if _, err := coord.Round(Broadcast{Done: true}); err != nil {
+	if err := coord.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -130,6 +137,157 @@ func TestFederationOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("worker %d: %v", i, err)
 		}
+	}
+}
+
+// TestBroadcastRoundTrip pins the v2 wire framing: a Broadcast carrying
+// per-client job specs and method payload, and an Update carrying per-job
+// results, must gob round-trip without loss.
+func TestBroadcastRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := Broadcast{
+		Version: ProtocolVersion,
+		Task:    1,
+		Round:   4,
+		State:   ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
+		Payload: []byte{9, 8, 7},
+		Jobs: []fl.JobSpec{{
+			ClientID:   5,
+			Task:       1,
+			ClientTask: 1,
+			Group:      fl.GroupInBetween,
+			Round:      4,
+			Epochs:     2,
+			BatchSize:  8,
+			LR:         0.05,
+			RngSeed:    fl.ClientSeed(2025, 5, 1, 4),
+			Shards: []fl.ShardSpec{
+				{Dataset: "pacs", Image: 16, Domain: "photo", Task: 0, TrainPerDomain: 24, TestPerDomain: 12,
+					GenSeed: fl.TaskSeed(2025, 0), Learners: 4, Index: 2, Alpha: 0.5, PartSeed: fl.PartitionSeed(2025, 0)},
+				{Dataset: "pacs", Image: 16, Domain: "cartoon", Task: 1, TrainPerDomain: 24, TestPerDomain: 12,
+					GenSeed: fl.TaskSeed(2025, 1), Learners: 5, Index: 0, Alpha: 0.5, PartSeed: fl.PartitionSeed(2025, 1)},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var gotB Broadcast
+	if err := gob.NewDecoder(&buf).Decode(&gotB); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, gotB) {
+		t.Fatalf("broadcast round trip diverged:\n got %+v\nwant %+v", gotB, b)
+	}
+
+	u := Update{
+		Version:  ProtocolVersion,
+		WorkerID: 1,
+		Results: []JobResult{{
+			Index:  0,
+			State:  ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
+			Upload: []byte{1, 2},
+		}},
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+		t.Fatal(err)
+	}
+	var gotU Update
+	if err := gob.NewDecoder(&buf).Decode(&gotU); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u, gotU) {
+		t.Fatalf("update round trip diverged:\n got %+v\nwant %+v", gotU, u)
+	}
+}
+
+// TestWorkerRejectsVersionMismatch drives a Worker.Serve loop from a raw
+// gob stream posing as a future-protocol coordinator: the worker must
+// report the mismatch as an error Update and terminate Serve with an
+// error rather than interpreting the frame.
+func TestWorkerRejectsVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serveErr := make(chan error, 1)
+	handled := make(chan struct{}, 1)
+	go func() {
+		w, err := Dial(ln.Addr().String(), 0)
+		if err != nil {
+			serveErr <- err
+			return
+		}
+		defer w.Close()
+		serveErr <- w.Serve(func(Broadcast) (Update, error) {
+			handled <- struct{}{}
+			return Update{}, nil
+		})
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(Broadcast{Version: ProtocolVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var u Update
+	if err := gob.NewDecoder(conn).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Error == "" || !strings.Contains(u.Error, "protocol") {
+		t.Fatalf("update error = %q, want a protocol version rejection", u.Error)
+	}
+	if err := <-serveErr; err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("Serve returned %v, want a protocol version error", err)
+	}
+	select {
+	case <-handled:
+		t.Fatal("handler ran despite version mismatch")
+	default:
+	}
+}
+
+// TestCoordinatorRejectsVersionMismatch connects a raw gob stream posing
+// as an old-protocol worker: the coordinator's round must fail instead of
+// aggregating its update.
+func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		var b Broadcast
+		if err := gob.NewDecoder(conn).Decode(&b); err != nil {
+			done <- err
+			return
+		}
+		done <- gob.NewEncoder(conn).Encode(Update{Version: ProtocolVersion - 1})
+	}()
+	if err := coord.Accept(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Round(Broadcast{State: ToWire(map[string]*tensor.Tensor{"w": tensor.New(1)})})
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("round error = %v, want a protocol version rejection", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -179,7 +337,7 @@ func TestMultiRoundFederation(t *testing.T) {
 			for _, v := range state {
 				v.Data()[0]++
 			}
-			return Update{Weight: 1, State: ToWire(state)}, nil
+			return Update{Results: []JobResult{{Index: 0, State: ToWire(state)}}}, nil
 		})
 	}()
 	if err := coord.Accept(1, 5*time.Second); err != nil {
@@ -191,7 +349,7 @@ func TestMultiRoundFederation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		global, err = FromWire(updates[0].State)
+		global, err = FromWire(updates[0].Results[0].State)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +357,7 @@ func TestMultiRoundFederation(t *testing.T) {
 	if got := global["w"].At(0); got != 5 {
 		t.Fatalf("after 5 rounds w = %v, want 5", got)
 	}
-	if _, err := coord.Round(Broadcast{Done: true}); err != nil {
+	if err := coord.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -30,6 +31,19 @@ func NewMatrix(tasks int) (*Matrix, error) {
 		}
 	}
 	return &Matrix{T: tasks, A: a}, nil
+}
+
+// FprintTriangle writes the recorded lower triangle, one "after task t"
+// row per stage with accuracies as percentages — the matrix layout the
+// CLIs print after a run.
+func (m *Matrix) FprintTriangle(w io.Writer) {
+	for t := 0; t < m.T; t++ {
+		fmt.Fprintf(w, "  after task %d:", t)
+		for i := 0; i <= t; i++ {
+			fmt.Fprintf(w, " %6.2f%%", m.A[t][i]*100)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // Record stores the accuracy on task i after training stage t.
