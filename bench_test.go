@@ -305,6 +305,83 @@ func BenchmarkRoundParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncRound measures the bounded-staleness round layer
+// (fl.AsyncRunner over the in-process pool) against the synchronous
+// engine on an identical federated run, with deterministically simulated
+// stragglers: at sync/S=0 it prices the async bookkeeping itself (the
+// accuracy matrices are bit-identical by TestAsyncStalenessZeroMatchesSync),
+// and at S=2 with ~30% stragglers it prices the admission queue under
+// churn. Every selected client still trains each round — stragglers defer
+// reporting, not work — so wall-clock differences isolate the round
+// bookkeeping, and the dropped metric stays 0 (lags never exceed the
+// window). On multi-core hardware the async layer's benefit is latency
+// hiding across rounds; this benchmark only prices its overhead.
+func BenchmarkAsyncRound(b *testing.B) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fl.Config{
+		Rounds:            3,
+		Epochs:            1,
+		BatchSize:         8,
+		LR:                0.05,
+		InitialClients:    8,
+		SelectPerRound:    8,
+		ClientsPerTaskInc: 0,
+		TransferFrac:      0.8,
+		Alpha:             0.5,
+		TrainPerDomain:    64,
+		TestPerDomain:     16,
+		EvalBatch:         16,
+		Seed:              benchSeed,
+	}
+	for _, setting := range []struct {
+		name      string
+		async     bool
+		staleness int
+		straggler float64
+	}{
+		{"sync", false, 0, 0},
+		{"staleness=0", true, 0, 0},
+		{"staleness=2_straggler=0.3", true, 2, 0.3},
+	} {
+		b.Run(setting.name, func(b *testing.B) {
+			var dropped int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				alg, err := baselines.NewFinetune(model.DefaultConfig(family.Classes), baselines.DefaultHyper(), rand.New(rand.NewSource(1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var runner fl.Runner
+				if setting.async {
+					runner = &fl.AsyncRunner{
+						Inner:     &fl.LocalRunner{Alg: alg},
+						Staleness: setting.staleness,
+						Delay:     fl.StragglerDelay(benchSeed, setting.straggler, setting.staleness),
+					}
+				}
+				eng, err := fl.NewEngineWithRunner(cfg, alg, runner)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Run(family, family.Domains[:1]); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if ar, ok := runner.(*fl.AsyncRunner); ok {
+					dropped += ar.Dropped()
+				}
+			}
+			if setting.async {
+				b.ReportMetric(float64(dropped)/float64(b.N), "dropped/op")
+			}
+		})
+	}
+}
+
 // BenchmarkWeightedAverageSharded measures FedAvg aggregation — the
 // multi-node hot path, run once per communication round over every
 // selected client's full state dict — with the key-sharded reduction of

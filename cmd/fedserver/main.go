@@ -16,6 +16,13 @@
 // Workers derive their data shards from the job specs the server
 // broadcasts (dataset, domain, seed, partition slot), so no training data
 // ever crosses the wire — only model state, wire state and job framing.
+//
+// Rounds are fault-tolerant by default (-requeue): a worker that dies
+// mid-round has its unfinished jobs re-queued on the survivors and the run
+// continues on the remaining pool. -staleness S switches the engine to
+// bounded-staleness async rounds where results may report up to S rounds
+// late with 1/(1+k)-discounted FedAvg weight; -straggler simulates lagging
+// clients deterministically.
 package main
 
 import (
@@ -59,8 +66,15 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "shared run seed (must match workers)")
 		ckpt    = flag.String("checkpoint", "", "path to write the final global model")
 		timeout = flag.Duration("accept-timeout", 60*time.Second, "worker accept timeout")
+
+		staleness = flag.Int("staleness", 0, "bounded-staleness window S: results may report up to S rounds late with discounted FedAvg weight (0 = synchronous rounds, bit-identical to the local engine)")
+		straggler = flag.Float64("straggler", 0, "per-(round,client) probability of lagging 1..S rounds (deterministic simulation; requires -staleness >= 1)")
+		requeue   = flag.Bool("requeue", true, "re-queue a dead worker's unfinished jobs on the survivors instead of failing the round")
 	)
 	flag.Parse()
+	if *straggler > 0 && *staleness < 1 {
+		return fmt.Errorf("-straggler %v needs -staleness >= 1: a lagging result with window 0 is always dropped", *straggler)
+	}
 
 	family, err := data.NewFamily(*dataset, 16)
 	if err != nil {
@@ -86,9 +100,22 @@ func run() error {
 	}
 	fmt.Println("all workers connected")
 
-	runner, err := transport.NewRunner(coord, alg)
+	tr, err := transport.NewRunner(coord, alg)
 	if err != nil {
 		return err
+	}
+	tr.Requeue = *requeue
+	// With a staleness window the engine runs bounded-staleness rounds:
+	// lagging results report into later rounds of the same task with
+	// 1/(1+k)-discounted weight. At -staleness 0 the AsyncRunner wrapper is
+	// bypassed entirely and rounds stay synchronous.
+	var runner fl.Runner = tr
+	if *staleness > 0 {
+		runner = &fl.AsyncRunner{
+			Inner:     tr,
+			Staleness: *staleness,
+			Delay:     fl.StragglerDelay(*seed, *straggler, *staleness),
+		}
 	}
 	cfg := fl.Config{
 		Rounds:            *rounds,
@@ -116,6 +143,9 @@ func run() error {
 		return err
 	}
 
+	if ar, ok := runner.(*fl.AsyncRunner); ok {
+		fmt.Printf("async rounds: staleness window %d, %d results dropped beyond the bound\n", ar.Staleness, ar.Dropped())
+	}
 	fmt.Printf("\naccuracy matrix (%s on %s, %d tasks, %d workers):\n", alg.Name(), family.Name, len(domains), *workers)
 	mat.FprintTriangle(os.Stdout)
 	sum, err := mat.Summarize()

@@ -5,7 +5,10 @@
 // worker derives every job's private shard from the spec's (dataset,
 // domain, seed, partition slot) coordinates — no training data crosses the
 // wire — and runs its jobs through the same worker-pool runner the
-// in-process engine uses.
+// in-process engine uses, acknowledging each job as it completes. When a
+// peer worker dies mid-round, the coordinator re-queues that worker's
+// unfinished jobs here in a follow-up broadcast for the same round; jobs
+// are placement-free, so re-execution yields the identical result.
 //
 // -method, -dataset, -tasks and -seed must match the fedserver's flags:
 // the construction seed fixes the initial weights on both sides. See
@@ -67,12 +70,15 @@ func run() error {
 	defer w.Close()
 	fmt.Printf("worker %d: connected to %s as %s on %s\n", *id, *addr, alg.Name(), family.Name)
 
-	return w.Serve(func(b transport.Broadcast) (transport.Update, error) {
-		u, err := ex.Handle(b)
-		if err != nil {
-			return u, err
+	return w.Serve(func(b transport.Broadcast, emit func(transport.JobResult) error) error {
+		trained := 0
+		if err := ex.Handle(b, func(jr transport.JobResult) error {
+			trained++
+			return emit(jr)
+		}); err != nil {
+			return err
 		}
-		fmt.Printf("worker %d: task %d round %d: trained %d clients\n", *id, b.Task, b.Round, len(u.Results))
-		return u, nil
+		fmt.Printf("worker %d: task %d round %d: trained %d clients\n", *id, b.Task, b.Round, trained)
+		return nil
 	})
 }

@@ -374,26 +374,15 @@ func (e *Engine) advanceClients(t int, train *data.Dataset) error {
 // trains an isolated replica under its own deterministically seeded RNG,
 // touching no shared mutable state; and aggregation consumes updates in
 // selection order regardless of which worker finished first.
+//
+// A runner implementing StalenessRunner switches the round to bounded-
+// staleness bookkeeping: results may report into a later round of the same
+// task (see runRoundAsync). With a staleness bound of 0 the async path is
+// bit-identical to this one.
 func (e *Engine) runRound(t, r int) error {
-	selected := e.selectClients()
-
-	// Phase 1 (serial): fix the round's participant set and all per-client
-	// inputs. The global model is only read here, never written.
-	jobs := make([]Job, 0, len(selected))
-	for _, c := range selected {
-		ds := e.clientData(c)
-		if ds == nil || ds.Len() == 0 {
-			continue
-		}
-		if e.cfg.DropoutProb > 0 && e.rng.Float64() < e.cfg.DropoutProb {
-			continue // client failed to report back this round
-		}
-		spec := e.jobSpec(c, t, r)
-		jobs = append(jobs, Job{
-			Ctx:    spec.NewLocalContext(ds),
-			Spec:   spec,
-			Weight: float64(ds.Len()),
-		})
+	jobs := e.roundJobs(t, r)
+	if sr, ok := e.runner.(StalenessRunner); ok {
+		return e.runRoundAsync(sr, t, r, jobs)
 	}
 	if len(jobs) == 0 {
 		// Every selected client dropped out: the global was never mutated,
@@ -422,6 +411,69 @@ func (e *Engine) runRound(t, r int) error {
 			uploads = append(uploads, res.Upload)
 		}
 	}
+	return e.aggregate(t, r, dicts, weights, uploads)
+}
+
+// roundJobs is round phase 1 (serial): fix the round's participant set and
+// all per-client inputs. Every draw on the engine RNG happens here, in
+// selection order, before any fan-out; the global model is only read,
+// never written.
+func (e *Engine) roundJobs(t, r int) []Job {
+	selected := e.selectClients()
+	jobs := make([]Job, 0, len(selected))
+	for _, c := range selected {
+		ds := e.clientData(c)
+		if ds == nil || ds.Len() == 0 {
+			continue
+		}
+		if e.cfg.DropoutProb > 0 && e.rng.Float64() < e.cfg.DropoutProb {
+			continue // client failed to report back this round
+		}
+		spec := e.jobSpec(c, t, r)
+		jobs = append(jobs, Job{
+			Ctx:    spec.NewLocalContext(ds),
+			Spec:   spec,
+			Weight: float64(ds.Len()),
+		})
+	}
+	return jobs
+}
+
+// runRoundAsync is the bounded-staleness round: the runner decides which
+// results report now and which lag into a later round, and the engine
+// aggregates whatever was admitted — tracking each result's round of
+// origin and using its staleness-discounted weight. The task's last round
+// drains the runner, so no result crosses a task boundary. A round that
+// admits nothing (all results lagging) leaves the global untouched, like a
+// round where every client dropped out.
+func (e *Engine) runRoundAsync(sr StalenessRunner, t, r int, jobs []Job) error {
+	admitted, err := sr.RunRound(t, r, jobs, r == e.cfg.Rounds-1)
+	if err != nil {
+		return err
+	}
+	if len(admitted) == 0 {
+		return nil
+	}
+	dicts := make([]map[string]*tensor.Tensor, len(admitted))
+	weights := make([]float64, len(admitted))
+	var uploads []Upload
+	for i, tr := range admitted {
+		if tr.Origin < 0 || tr.Origin > r {
+			return fmt.Errorf("fl: round %d admitted a result from round %d", r, tr.Origin)
+		}
+		dicts[i] = tr.Result.Dict
+		weights[i] = tr.Weight
+		if tr.Result.Upload != nil {
+			uploads = append(uploads, tr.Result.Upload)
+		}
+	}
+	return e.aggregate(t, r, dicts, weights, uploads)
+}
+
+// aggregate is round phase 3 (serial): FedAvg the updates in the order
+// given, install the aggregate into the global model, and run the method's
+// server hook.
+func (e *Engine) aggregate(t, r int, dicts []map[string]*tensor.Tensor, weights []float64, uploads []Upload) error {
 	avg, err := WeightedAverage(dicts, weights)
 	if err != nil {
 		return fmt.Errorf("fl: aggregating round %d: %w", r, err)

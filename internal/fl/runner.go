@@ -208,10 +208,28 @@ type LocalRunner struct {
 
 // Run implements Runner. The first error wins; remaining jobs are drained.
 func (lr *LocalRunner) Run(jobs []Job) ([]Result, error) {
-	if lr.Alg == nil {
-		return nil, fmt.Errorf("fl: local runner has no algorithm")
-	}
 	results := make([]Result, len(jobs))
+	err := lr.RunEach(jobs, func(i int, res Result) error {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEach is the streaming form of Run: done(i, results[i]) fires once per
+// job as it completes — in completion order, not job order — so callers
+// can forward per-job acknowledgements (the transport executor streams
+// each finished job back to the coordinator this way, which is what makes
+// survivor re-queue placement bookkeeping possible). done calls are
+// serialized under an internal lock; an error returned from done cancels
+// the remaining jobs exactly like a training error.
+func (lr *LocalRunner) RunEach(jobs []Job, done func(i int, res Result) error) error {
+	if lr.Alg == nil {
+		return fmt.Errorf("fl: local runner has no algorithm")
+	}
 	workers := lr.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -220,6 +238,7 @@ func (lr *LocalRunner) Run(jobs []Job) ([]Result, error) {
 		workers = len(jobs)
 	}
 
+	var doneMu sync.Mutex
 	runJob := func(i int) error {
 		job := jobs[i]
 		if job.Ctx == nil {
@@ -233,17 +252,19 @@ func (lr *LocalRunner) Run(jobs []Job) ([]Result, error) {
 		if err != nil {
 			return fmt.Errorf("fl: client %d local training: %w", job.Ctx.ClientID, err)
 		}
-		results[i] = Result{Dict: nn.StateDict(rep.Global()), Upload: up}
-		return nil
+		res := Result{Dict: nn.StateDict(rep.Global()), Upload: up}
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		return done(i, res)
 	}
 
 	if workers <= 1 {
 		for i := range jobs {
 			if err := runJob(i); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		return results, nil
+		return nil
 	}
 
 	// Reserve kernel-helper tokens for the pool workers so the matmul/conv
@@ -281,10 +302,7 @@ func (lr *LocalRunner) Run(jobs []Job) ([]Result, error) {
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return firstErr
 }
 
 var _ Runner = (*LocalRunner)(nil)

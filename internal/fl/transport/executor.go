@@ -13,12 +13,19 @@ import (
 // state into its local algorithm instance, derives each assigned job's
 // data shard from its spec (no data crosses the wire), and runs its slice
 // of the round through the same fl.LocalRunner worker pool the in-process
-// engine uses — Spawn replicas, per-job seeded RNGs, results in job order.
+// engine uses — Spawn replicas, per-job seeded RNGs — acknowledging each
+// job the moment it completes. Per-job acks are what let the coordinator
+// salvage a crashing worker's finished work and re-queue only the rest.
 //
 // The algorithm must be constructed exactly as the coordinator's (same
 // method, model config, task horizon and construction seed): broadcast
 // state only covers Global()'s state dict plus the wire state, so any
 // architecture or frozen-initialization mismatch would diverge.
+//
+// A broadcast carries no placement history: a job that another worker
+// started before dying re-executes here from the spec alone and — every
+// job being a self-contained deterministic computation — produces the
+// byte-identical result.
 type Executor struct {
 	alg fl.Algorithm
 	// workers caps concurrent jobs per broadcast (fl.LocalRunner
@@ -38,56 +45,54 @@ func NewExecutor(alg fl.Algorithm, workers int) (*Executor, error) {
 	return &Executor{alg: alg, workers: workers, shards: make(map[fl.ShardSpec]*data.Dataset)}, nil
 }
 
-// Handle executes one broadcast's job assignment and returns the update;
-// pass it to Worker.Serve.
-func (e *Executor) Handle(b Broadcast) (Update, error) {
+// Handle executes one broadcast's job assignment, emitting each job's
+// result as it completes (completion order; the coordinator maps acks by
+// their Index). Pass it to Worker.Serve, whose emit already serializes
+// onto the connection.
+func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
 	state, err := FromWire(b.State)
 	if err != nil {
-		return Update{}, fmt.Errorf("broadcast state: %w", err)
+		return fmt.Errorf("broadcast state: %w", err)
 	}
 	if err := nn.LoadStateDict(e.alg.Global(), state); err != nil {
-		return Update{}, fmt.Errorf("installing broadcast state: %w", err)
+		return fmt.Errorf("installing broadcast state: %w", err)
 	}
 	if ws, ok := e.alg.(fl.WireStater); ok {
 		if err := ws.LoadWireState(b.Payload); err != nil {
-			return Update{}, fmt.Errorf("installing wire state: %w", err)
+			return fmt.Errorf("installing wire state: %w", err)
 		}
 	} else if len(b.Payload) > 0 {
-		return Update{}, fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(b.Payload))
+		return fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(b.Payload))
 	}
 
 	jobs := make([]fl.Job, len(b.Jobs))
 	for i, spec := range b.Jobs {
 		ds, err := e.dataset(spec)
 		if err != nil {
-			return Update{}, fmt.Errorf("job %d (client %d): %w", i, spec.ClientID, err)
+			return fmt.Errorf("job %d (client %d): %w", i, spec.ClientID, err)
 		}
 		jobs[i] = fl.Job{Ctx: spec.NewLocalContext(ds), Spec: spec, Weight: float64(ds.Len())}
 	}
 	if len(jobs) == 0 {
-		return Update{}, nil
+		return nil
 	}
 	pool := &fl.LocalRunner{Alg: e.alg, Workers: e.workers}
-	results, err := pool.Run(jobs)
-	if err != nil {
-		return Update{}, err
-	}
-	out := make([]JobResult, len(results))
-	for i, res := range results {
+	// RunEach serializes done calls, so emit never runs concurrently.
+	return pool.RunEach(jobs, func(i int, res fl.Result) error {
 		jr := JobResult{Index: i, State: ToWire(res.Dict)}
 		if res.Upload != nil {
 			uc, ok := e.alg.(fl.UploadCoder)
 			if !ok {
-				return Update{}, fmt.Errorf("%s produced an upload it cannot encode", e.alg.Name())
+				return fmt.Errorf("%s produced an upload it cannot encode", e.alg.Name())
 			}
+			var err error
 			jr.Upload, err = uc.EncodeUpload(res.Upload)
 			if err != nil {
-				return Update{}, fmt.Errorf("job %d upload: %w", i, err)
+				return fmt.Errorf("job %d upload: %w", i, err)
 			}
 		}
-		out[i] = jr
-	}
-	return Update{Results: out}, nil
+		return emit(jr)
+	})
 }
 
 // dataset materializes (or fetches from cache) the job's local dataset.

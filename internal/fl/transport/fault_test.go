@@ -1,0 +1,187 @@
+// Fault-injection harness: the acceptance gate for survivor re-queue. A
+// full engine run over loopback TCP has one worker killed mid-round — the
+// connection is closed immediately after the worker acks its first job of
+// a chosen round — and the run must still complete, on the surviving
+// worker, with an accuracy matrix exactly equal to an uncrashed run's.
+//
+// That equality is the whole correctness argument: jobs are placement-free
+// deterministic computations, so the survivor re-executing the dead
+// worker's unfinished jobs — rederiving their shards and reloading the
+// broadcast state — must reproduce byte-identical results. Crashing inside
+// task 1 additionally pins the wire-state path: by then EWC has
+// consolidated Fisher/anchor maps and LwF has snapshotted its distillation
+// teacher, so the re-executed job only matches if that server-side state
+// round-trips correctly to the worker that never ran the job before.
+package transport_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"reffil/internal/data"
+	"reffil/internal/experiments"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/model"
+)
+
+// localMatrixCache memoizes runLocal per (method, family, domain count):
+// several tests in this package compare against the same synchronous
+// in-process reference under crossRunnerConfig.
+var localMatrixCache sync.Map
+
+// localReference returns the synchronous LocalRunner accuracy matrix for
+// the method under crossRunnerConfig, computing it at most once per
+// (method, family, domains) fixture.
+func localReference(t *testing.T, method string, family *data.Family, domains []string) [][]float64 {
+	t.Helper()
+	key := fmt.Sprintf("%s/%s/%d", method, family.Name, len(domains))
+	if mat, ok := localMatrixCache.Load(key); ok {
+		return mat.([][]float64)
+	}
+	mat := runLocal(t, method, family, domains)
+	localMatrixCache.Store(key, mat)
+	return mat
+}
+
+// runTCPWithCrash runs the full task sequence over loopback TCP with two
+// workers, where worker slot 0 closes its connection right after acking
+// its first job of round (crashTask, crashRound). Workers are dialed one
+// at a time so the killer deterministically occupies slot 0 — the slot
+// that round-robin assignment hands the round's first (and, with three
+// jobs over two workers, third) job, guaranteeing the crash strands at
+// least one unfinished job for the survivor to pick up.
+func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains []string, crashTask, crashRound int) [][]float64 {
+	t.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	newAlg := func() fl.Algorithm {
+		alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+
+	// Worker slot 0: the killer. It executes jobs through a real Executor,
+	// but in the crash round it severs the connection after its first ack.
+	killErr := make(chan error, 1)
+	{
+		ex, err := transport.NewExecutor(newAlg(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := transport.Dial(coord.Addr(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer w.Close()
+			killErr <- w.Serve(func(b transport.Broadcast, emit func(transport.JobResult) error) error {
+				if b.Task != crashTask || b.Round != crashRound {
+					return ex.Handle(b, emit)
+				}
+				return ex.Handle(b, func(jr transport.JobResult) error {
+					if err := emit(jr); err != nil {
+						return err
+					}
+					if err := w.Close(); err != nil {
+						return err
+					}
+					return fmt.Errorf("injected crash after first ack of task %d round %d", b.Task, b.Round)
+				})
+			})
+		}()
+		if err := coord.Accept(1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Worker slot 1: a normal executor — the survivor.
+	surviveErr := make(chan error, 1)
+	{
+		ex, err := transport.NewExecutor(newAlg(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := transport.Dial(coord.Addr(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer w.Close()
+			surviveErr <- w.Serve(ex.Handle)
+		}()
+		if err := coord.Accept(1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	alg := newAlg()
+	runner, err := transport.NewRunner(coord, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatalf("run with injected crash failed instead of re-queueing: %v", err)
+	}
+
+	if got := coord.NumLive(); got != 1 {
+		t.Fatalf("live workers after crash = %d, want 1", got)
+	}
+	if err := <-killErr; err == nil {
+		t.Fatal("killed worker's Serve returned nil — the crash was never injected")
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-surviveErr; err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	return mat.A
+}
+
+// TestFaultInjectionCrashMidRound kills worker 0 mid-round and requires
+// the completed run's accuracy matrix to equal the uncrashed reference,
+// cell for cell. The task-1 crash points re-execute jobs that depend on
+// method wire state (EWC's Fisher/anchors, LwF's teacher) on a worker
+// that never trained them before — the re-queue path's wire-state gate.
+// RefFiL crashing in task 0 covers the prompt-upload path under re-queue.
+func TestFaultInjectionCrashMidRound(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	cases := []struct {
+		method     string
+		crashTask  int
+		crashRound int
+	}{
+		{"reffil", 0, 1},
+		{"ewc", 1, 0},
+		{"lwf", 1, 0},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/task%d_round%d", tc.method, tc.crashTask, tc.crashRound), func(t *testing.T) {
+			want := localReference(t, tc.method, family, domains)
+			got := runTCPWithCrash(t, tc.method, family, domains, tc.crashTask, tc.crashRound)
+			requireSameMatrix(t, "crashed-and-requeued", want, got)
+		})
+	}
+}

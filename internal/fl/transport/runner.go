@@ -2,30 +2,44 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 
 	"reffil/internal/fl"
 	"reffil/internal/nn"
 )
 
 // Runner is the transport-backed fl.Runner: it fans one round's jobs out
-// across the coordinator's connected workers over TCP and maps the replies
-// back into job order, so an fl.Engine built on it runs every paper
-// scenario multi-node with the same mechanics — and the same numbers — as
-// the in-process pool.
+// across the coordinator's live workers over TCP, collects the per-job
+// acks as they stream in, and maps them back into job order, so an
+// fl.Engine built on it runs every paper scenario multi-node with the same
+// mechanics — and the same numbers — as the in-process pool.
 //
 // Per round it broadcasts the algorithm's current global state dict plus
-// its encoded wire state (fl.WireStater) to every worker, with jobs
+// its encoded wire state (fl.WireStater) to every live worker, with jobs
 // assigned round-robin by worker slot. Assignment never affects results:
 // each job is a self-contained deterministic computation (see fl.Runner),
 // so any placement produces the same accuracy matrix.
+//
+// With Requeue set, a worker connection dying mid-round no longer fails
+// the round: the dead worker's acknowledged results are kept, its
+// unfinished jobs are redistributed round-robin over the surviving
+// workers, and the round completes with exactly the result set an
+// uncrashed run would have produced. Only connection failures re-queue;
+// an error the worker itself reports is deterministic and fails the round
+// (re-running the job elsewhere would fail identically).
 type Runner struct {
 	coord *Coordinator
 	alg   fl.Algorithm
+	// Requeue enables survivor re-queue of a dead worker's unfinished
+	// jobs. When false, a worker death mid-round fails the round (the
+	// pre-v3 behaviour).
+	Requeue bool
 }
 
 // NewRunner wraps a coordinator and the engine's algorithm instance. The
 // algorithm must be the same instance the fl.Engine aggregates into —
 // Run reads its Global() state and wire state at each round's start.
+// Re-queueing starts enabled; clear Requeue for fail-fast rounds.
 func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
 	if coord == nil {
 		return nil, fmt.Errorf("transport: runner needs a coordinator")
@@ -33,17 +47,17 @@ func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
 	if alg == nil {
 		return nil, fmt.Errorf("transport: runner needs an algorithm")
 	}
-	return &Runner{coord: coord, alg: alg}, nil
+	return &Runner{coord: coord, alg: alg, Requeue: true}, nil
 }
 
-// Run implements fl.Runner over the wire.
+// Run implements fl.Runner over the wire. Each attempt round-robins the
+// unfinished jobs over the live workers and streams in their acks; worker
+// deaths shrink the live set and (with Requeue) push their unfinished jobs
+// into the next attempt, so the loop ends with either a complete result
+// set or no workers left.
 func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
-	}
-	n := r.coord.NumWorkers()
-	if n == 0 {
-		return nil, fmt.Errorf("transport: no connected workers to run %d jobs", len(jobs))
 	}
 	state := ToWire(nn.StateDict(r.alg.Global()))
 	var payload []byte
@@ -55,60 +69,160 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 		}
 	}
 
-	// Round-robin job assignment by worker slot; assign[w][k] is the round
-	// index of worker w's k-th job.
-	assign := make([][]int, n)
+	results := make([]fl.Result, len(jobs))
+	got := make([]bool, len(jobs))
+	remaining := make([]int, len(jobs))
 	for i := range jobs {
-		w := i % n
-		assign[w] = append(assign[w], i)
-	}
-	bs := make([]Broadcast, n)
-	for w := range bs {
-		specs := make([]fl.JobSpec, len(assign[w]))
-		for k, ji := range assign[w] {
-			specs[k] = jobs[ji].Spec
-		}
-		bs[w] = Broadcast{
-			Task:    jobs[0].Spec.Task,
-			Round:   jobs[0].Spec.Round,
-			State:   state,
-			Payload: payload,
-			Jobs:    specs,
-		}
+		remaining[i] = i
 	}
 
-	updates, err := r.coord.RoundEach(bs)
+	for attempt := 0; ; attempt++ {
+		live := r.coord.liveSlots()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("transport: no live workers with %d of %d jobs unfinished", len(remaining), len(jobs))
+		}
+		// Round-robin the unfinished jobs over the live slots; assign[slot]
+		// lists round indices, and a job's position in that list is the
+		// Index its ack will carry.
+		assign := make(map[int][]int, len(live))
+		for k, ji := range remaining {
+			slot := live[k%len(live)]
+			assign[slot] = append(assign[slot], ji)
+		}
+		// The first attempt broadcasts to every live worker — idle ones
+		// get an empty job list and answer with a bare Done, keeping all
+		// workers in lockstep with the round stream. Re-queue attempts
+		// only disturb survivors that actually receive work.
+		targets := live
+		if attempt > 0 {
+			targets = make([]int, 0, len(live))
+			for _, slot := range live {
+				if len(assign[slot]) > 0 {
+					targets = append(targets, slot)
+				}
+			}
+		}
+
+		var (
+			mu    sync.Mutex // guards results/got and the fatal error
+			fatal error
+			wg    sync.WaitGroup
+		)
+		setFatal := func(err error) {
+			mu.Lock()
+			if fatal == nil {
+				fatal = err
+			}
+			mu.Unlock()
+		}
+		for _, slot := range targets {
+			idxs := assign[slot]
+			wg.Add(1)
+			go func(slot int, idxs []int) {
+				defer wg.Done()
+				specs := make([]fl.JobSpec, len(idxs))
+				for k, ji := range idxs {
+					specs[k] = jobs[ji].Spec
+				}
+				b := Broadcast{
+					Task:    jobs[0].Spec.Task,
+					Round:   jobs[0].Spec.Round,
+					State:   state,
+					Payload: payload,
+					Jobs:    specs,
+				}
+				if err := r.coord.send(slot, b); err != nil {
+					return // marked dead; its jobs stay unacked
+				}
+				acked := 0
+				for {
+					u, err := r.coord.recv(slot)
+					if err != nil {
+						return // dead mid-round; completed acks are kept
+					}
+					if u.Version != ProtocolVersion {
+						setFatal(fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator v%d", slot, u.Version, ProtocolVersion))
+						return
+					}
+					if u.Error != "" {
+						setFatal(fmt.Errorf("transport: worker %d: %s", slot, u.Error))
+						return
+					}
+					if u.Done {
+						if acked != len(idxs) {
+							setFatal(fmt.Errorf("transport: worker %d closed the round with %d of %d acks", slot, acked, len(idxs)))
+						}
+						return
+					}
+					if len(u.Results) != 1 {
+						setFatal(fmt.Errorf("transport: worker %d ack carries %d results, want 1", slot, len(u.Results)))
+						return
+					}
+					jr := u.Results[0]
+					if jr.Index < 0 || jr.Index >= len(idxs) {
+						setFatal(fmt.Errorf("transport: worker %d acked job slot %d of %d", slot, jr.Index, len(idxs)))
+						return
+					}
+					// Decode under the lock: FromWire is pure, but the
+					// method's DecodeUpload is not documented concurrency-
+					// safe, and decode cost is dwarfed by training anyway.
+					mu.Lock()
+					gi := idxs[jr.Index]
+					if !got[gi] {
+						res, err := r.decode(jr)
+						if err != nil {
+							if fatal == nil {
+								fatal = fmt.Errorf("transport: worker %d job %d: %w", slot, jr.Index, err)
+							}
+							mu.Unlock()
+							return
+						}
+						got[gi] = true
+						results[gi] = res
+					}
+					mu.Unlock()
+					acked++
+				}
+			}(slot, idxs)
+		}
+		wg.Wait()
+		if fatal != nil {
+			return nil, fatal
+		}
+		unfinished := remaining[:0]
+		for _, ji := range remaining {
+			if !got[ji] {
+				unfinished = append(unfinished, ji)
+			}
+		}
+		if len(unfinished) == 0 {
+			return results, nil
+		}
+		if !r.Requeue {
+			return nil, fmt.Errorf("transport: worker connection lost with %d of %d jobs unfinished (re-queue disabled)", len(unfinished), len(jobs))
+		}
+		remaining = unfinished
+	}
+}
+
+// decode converts one acked JobResult into an fl.Result.
+func (r *Runner) decode(jr JobResult) (fl.Result, error) {
+	dict, err := FromWire(jr.State)
 	if err != nil {
-		return nil, err
+		return fl.Result{}, fmt.Errorf("state: %w", err)
 	}
-	results := make([]fl.Result, len(jobs))
-	for w, u := range updates {
-		if len(u.Results) != len(assign[w]) {
-			return nil, fmt.Errorf("transport: worker %d returned %d results for %d jobs", w, len(u.Results), len(assign[w]))
+	var up fl.Upload
+	if len(jr.Upload) > 0 {
+		uc, ok := r.alg.(fl.UploadCoder)
+		if !ok {
+			return fl.Result{}, fmt.Errorf("worker sent an upload but %s cannot decode uploads", r.alg.Name())
 		}
-		for k, jr := range u.Results {
-			if jr.Index != k {
-				return nil, fmt.Errorf("transport: worker %d result %d claims job slot %d", w, k, jr.Index)
-			}
-			dict, err := FromWire(jr.State)
-			if err != nil {
-				return nil, fmt.Errorf("transport: worker %d job %d state: %w", w, k, err)
-			}
-			var up fl.Upload
-			if len(jr.Upload) > 0 {
-				uc, ok := r.alg.(fl.UploadCoder)
-				if !ok {
-					return nil, fmt.Errorf("transport: worker %d sent an upload but %s cannot decode uploads", w, r.alg.Name())
-				}
-				up, err = uc.DecodeUpload(jr.Upload)
-				if err != nil {
-					return nil, fmt.Errorf("transport: worker %d job %d upload: %w", w, k, err)
-				}
-			}
-			results[assign[w][k]] = fl.Result{Dict: dict, Upload: up}
+		up, err = uc.DecodeUpload(jr.Upload)
+		if err != nil {
+			return fl.Result{}, fmt.Errorf("upload: %w", err)
 		}
 	}
-	return results, nil
+	return fl.Result{Dict: dict, Upload: up}, nil
 }
 
 var _ fl.Runner = (*Runner)(nil)

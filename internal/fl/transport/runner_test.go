@@ -63,10 +63,37 @@ func runLocal(t *testing.T, method string, family *data.Family, domains []string
 	return mat.A
 }
 
+// runLocalAsync executes the full task sequence on an AsyncRunner layered
+// over the in-process runner with the given staleness window (and no
+// delays — the bit-identity contract under test).
+func runLocalAsync(t *testing.T, method string, family *data.Family, domains []string, staleness int) [][]float64 {
+	t.Helper()
+	alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crossRunnerConfig()
+	runner := &fl.AsyncRunner{
+		Inner:     &fl.LocalRunner{Alg: alg, Workers: cfg.Workers},
+		Staleness: staleness,
+	}
+	eng, err := fl.NewEngineWithRunner(cfg, alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mat.A
+}
+
 // runTCP executes the same sequence with a transport Runner over loopback:
 // nWorkers goroutine "machines", each speaking only gob-over-TCP through an
 // Executor around its own independently constructed algorithm instance.
-func runTCP(t *testing.T, method string, family *data.Family, domains []string, nWorkers int) [][]float64 {
+// wrap, when non-nil, layers another runner (e.g. fl.AsyncRunner) over the
+// transport runner.
+func runTCP(t *testing.T, method string, family *data.Family, domains []string, nWorkers int, wrap func(fl.Runner) fl.Runner) [][]float64 {
 	t.Helper()
 	coord, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
@@ -107,9 +134,13 @@ func runTCP(t *testing.T, method string, family *data.Family, domains []string, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	runner, err := transport.NewRunner(coord, alg)
+	tr, err := transport.NewRunner(coord, alg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var runner fl.Runner = tr
+	if wrap != nil {
+		runner = wrap(runner)
 	}
 	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
 	if err != nil {
@@ -148,19 +179,67 @@ func TestCrossRunnerDeterminism(t *testing.T) {
 		method := method
 		t.Run(method, func(t *testing.T) {
 			local := runLocal(t, method, family, domains)
-			remote := runTCP(t, method, family, domains, 2)
+			remote := runTCP(t, method, family, domains, 2, nil)
 			// Only the lower triangle is recorded (task i is evaluated on
 			// domains 0..i); the rest stays NaN.
-			for i := range local {
-				for j := 0; j <= i; j++ {
-					if local[i][j] != remote[i][j] {
-						t.Fatalf("accuracy matrix diverged at [%d][%d]: local %v vs TCP %v",
-							i, j, local[i][j], remote[i][j])
-					}
-				}
-			}
+			requireSameMatrix(t, "TCP", local, remote)
 		})
 	}
+}
+
+// requireSameMatrix asserts exact (==) equality on the recorded lower
+// triangle of two accuracy matrices.
+func requireSameMatrix(t *testing.T, label string, want, got [][]float64) {
+	t.Helper()
+	for i := range want {
+		for j := 0; j <= i; j++ {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("accuracy matrix diverged at [%d][%d]: reference %v vs %s %v",
+					i, j, want[i][j], label, got[i][j])
+			}
+		}
+	}
+}
+
+// TestAsyncStalenessZeroMatchesSync is the async acceptance gate: an
+// fl.AsyncRunner with staleness window 0 (and no delays) layered over the
+// same in-process pool must reproduce the synchronous LocalRunner's
+// accuracy matrices exactly (==) for all six -method algorithms — the
+// bounded-staleness bookkeeping degenerates to the synchronous round.
+func TestAsyncStalenessZeroMatchesSync(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	methods := experiments.MethodFlags()
+	if testing.Short() {
+		methods = []string{"reffil", "lwf"}
+	}
+	for _, method := range methods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			local := runLocal(t, method, family, domains)
+			async := runLocalAsync(t, method, family, domains, 0)
+			requireSameMatrix(t, "async(S=0)", local, async)
+		})
+	}
+}
+
+// TestAsyncOverTCPStalenessZero stacks the layers the fedserver CLI
+// stacks — engine → AsyncRunner(S=0) → transport Runner → TCP workers —
+// and requires the result to stay bit-identical to the plain local run.
+func TestAsyncOverTCPStalenessZero(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	local := runLocal(t, "reffil", family, domains)
+	remote := runTCP(t, "reffil", family, domains, 2, func(inner fl.Runner) fl.Runner {
+		return &fl.AsyncRunner{Inner: inner, Staleness: 0}
+	})
+	requireSameMatrix(t, "async-over-TCP(S=0)", local, remote)
 }
 
 // TestShardSpecMaterializeMatchesPartition pins the data-derivation

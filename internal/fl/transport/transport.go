@@ -1,9 +1,10 @@
 // Package transport provides the networked federation path: a coordinator
 // (fedserver) broadcasts global model state plus per-client job framing to
 // workers over TCP, workers derive each job's shard locally, train, and
-// reply with weighted updates, and the coordinator aggregates. Messages
-// are gob-encoded and versioned; tensors cross the wire as shape+data
-// pairs and datasets never cross it at all (see fl.ShardSpec).
+// stream back one acknowledged result per job, and the coordinator
+// aggregates. Messages are gob-encoded and versioned; tensors cross the
+// wire as shape+data pairs and datasets never cross it at all (see
+// fl.ShardSpec).
 //
 // The package plugs into the engine through Runner (the coordinator side
 // of fl.Runner) and Executor (the worker side): the full fl.Engine — the
@@ -11,6 +12,13 @@
 // method's server hooks — drives a real federation exactly as it drives
 // the in-process worker pool, with bit-identical accuracy matrices for the
 // same seed.
+//
+// Since protocol v3 the round is fault-tolerant: workers acknowledge each
+// job as it finishes, so when a worker's connection dies mid-round the
+// coordinator keeps the acknowledged results and re-queues only the dead
+// worker's unfinished jobs on the survivors (every job is a placement-free
+// deterministic computation, so re-execution elsewhere returns the exact
+// result the dead worker would have produced).
 package transport
 
 import (
@@ -28,7 +36,11 @@ import (
 // from a different version instead of mis-decoding them: gob is
 // self-describing enough to decode across incompatible semantic revisions
 // of the message structs, so the guard has to be explicit.
-const ProtocolVersion = 2
+//
+// v3 replaced the one-update-per-round reply with per-job ack streaming
+// (each job's result is its own Update, closed by a Done frame), the
+// framing that makes survivor re-queue possible.
+const ProtocolVersion = 3
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -64,7 +76,10 @@ func FromWire(w map[string]WireTensor) (map[string]*tensor.Tensor, error) {
 	return out, nil
 }
 
-// Broadcast is the coordinator-to-worker message for one round.
+// Broadcast is a coordinator-to-worker message: one round's state and job
+// assignment. A round normally sends one broadcast per worker; when a
+// worker dies mid-round, survivors receive a follow-up broadcast for the
+// same (Task, Round) carrying the re-queued jobs.
 type Broadcast struct {
 	// Version is the wire protocol revision; stamped by the coordinator,
 	// checked by workers.
@@ -77,14 +92,14 @@ type Broadcast struct {
 	Payload []byte
 	// Jobs frames the local-training jobs assigned to this worker for the
 	// round: client id, group, round, and the domain/seed coordinates the
-	// worker derives its data shard from. Workers with no jobs this round
-	// receive an empty list and reply with an empty Results list.
+	// worker derives its data shard from. Workers with no jobs reply with
+	// a bare Done update.
 	Jobs []fl.JobSpec
 	// Done tells workers to exit their serve loop.
 	Done bool
 }
 
-// JobResult is one executed job's reply.
+// JobResult is one executed job's acknowledged reply.
 type JobResult struct {
 	// Index is the job's position in the broadcast's Jobs list; the
 	// coordinator validates it when mapping results back to round order.
@@ -96,19 +111,31 @@ type JobResult struct {
 	Upload []byte
 }
 
-// Update is the worker-to-coordinator reply.
+// Update is a worker-to-coordinator frame. A worker answers each broadcast
+// with a stream of per-job acks — one Update holding exactly one JobResult,
+// sent the moment that job finishes training — terminated by one final
+// Update with Done set (and Error, if the handler failed). The per-job
+// framing is what lets the coordinator keep a dead worker's completed
+// results and re-queue only its unfinished jobs.
 type Update struct {
 	// Version is stamped by the worker and checked by the coordinator.
 	Version  int
 	WorkerID int
-	// Results holds one entry per broadcast job, in job order.
+	// Results holds exactly one entry on an ack frame, none on the final
+	// Done frame.
 	Results []JobResult
-	// Error reports a worker-side failure for the round; the coordinator
-	// fails the round with it instead of hanging on a dead connection.
+	// Done marks the end of this worker's reply stream for the broadcast.
+	Done bool
+	// Error reports a worker-side failure for the round. It rides on the
+	// final frame; the coordinator fails the round with it — worker logic
+	// errors are deterministic, so re-queueing the job elsewhere would
+	// fail identically.
 	Error string
 }
 
-// Coordinator runs the server side of a federation.
+// Coordinator runs the server side of a federation. Worker connections
+// that fail are marked dead and skipped from then on — the round layer
+// (Runner) decides whether a death fails the round or re-queues work.
 type Coordinator struct {
 	ln      net.Listener
 	mu      sync.Mutex
@@ -119,6 +146,7 @@ type wireConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	dead bool
 }
 
 // Listen starts a coordinator on addr (e.g. "127.0.0.1:0").
@@ -133,7 +161,7 @@ func Listen(addr string) (*Coordinator, error) {
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Accept blocks until n workers have connected.
+// Accept blocks until n more workers have connected.
 func (c *Coordinator) Accept(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for i := 0; i < n; i++ {
@@ -153,87 +181,84 @@ func (c *Coordinator) Accept(n int, timeout time.Duration) error {
 	return nil
 }
 
-// NumWorkers returns how many workers are connected.
+// NumWorkers returns how many workers have ever connected.
 func (c *Coordinator) NumWorkers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.workers)
 }
 
-// Round sends the same broadcast to every worker and collects one update
-// from each; see RoundEach for per-worker framing.
-func (c *Coordinator) Round(b Broadcast) ([]Update, error) {
-	c.mu.Lock()
-	n := len(c.workers)
-	c.mu.Unlock()
-	if n == 0 {
-		return nil, fmt.Errorf("transport: no connected workers")
-	}
-	bs := make([]Broadcast, n)
-	for i := range bs {
-		bs[i] = b
-	}
-	return c.RoundEach(bs)
+// NumLive returns how many connected workers are still usable.
+func (c *Coordinator) NumLive() int {
+	return len(c.liveSlots())
 }
 
-// RoundEach sends bs[i] to worker slot i (one broadcast per connected
-// worker, carrying that worker's job assignment) and collects one update
-// from each. Outgoing broadcasts are stamped with ProtocolVersion;
-// incoming updates are rejected on version mismatch or a worker-reported
-// error. Worker updates arrive concurrently; the returned order is by
-// worker slot.
-func (c *Coordinator) RoundEach(bs []Broadcast) ([]Update, error) {
+// liveSlots returns the slot indices of workers not marked dead.
+func (c *Coordinator) liveSlots() []int {
 	c.mu.Lock()
-	workers := append([]*wireConn(nil), c.workers...)
-	c.mu.Unlock()
-	if len(workers) == 0 {
-		return nil, fmt.Errorf("transport: no connected workers")
-	}
-	if len(bs) != len(workers) {
-		return nil, fmt.Errorf("transport: %d broadcasts for %d workers", len(bs), len(workers))
-	}
-	updates := make([]Update, len(workers))
-	errs := make([]error, len(workers))
-	var wg sync.WaitGroup
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *wireConn) {
-			defer wg.Done()
-			b := bs[i]
-			b.Version = ProtocolVersion
-			if err := w.enc.Encode(b); err != nil {
-				errs[i] = fmt.Errorf("transport: sending to worker %d: %w", i, err)
-				return
-			}
-			if b.Done {
-				return
-			}
-			if err := w.dec.Decode(&updates[i]); err != nil {
-				errs[i] = fmt.Errorf("transport: receiving from worker %d: %w", i, err)
-				return
-			}
-			if msg := updates[i].Error; msg != "" {
-				errs[i] = fmt.Errorf("transport: worker %d: %s", i, msg)
-				return
-			}
-			if v := updates[i].Version; v != ProtocolVersion {
-				errs[i] = fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator v%d", i, v, ProtocolVersion)
-			}
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	defer c.mu.Unlock()
+	var out []int
+	for i, w := range c.workers {
+		if !w.dead {
+			out = append(out, i)
 		}
 	}
-	return updates, nil
+	return out
 }
 
-// Shutdown tells every worker to exit its serve loop.
+// markDead flags a worker slot as unusable and closes its connection.
+func (c *Coordinator) markDead(slot int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[slot]
+	if !w.dead {
+		w.dead = true
+		_ = w.conn.Close()
+	}
+}
+
+// slot returns the wire connection for a worker slot.
+func (c *Coordinator) slot(i int) *wireConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[i]
+}
+
+// send encodes b — stamped with ProtocolVersion — to the given worker
+// slot. A failed send marks the worker dead.
+func (c *Coordinator) send(slot int, b Broadcast) error {
+	w := c.slot(slot)
+	b.Version = ProtocolVersion
+	if err := w.enc.Encode(b); err != nil {
+		c.markDead(slot)
+		return fmt.Errorf("transport: sending to worker %d: %w", slot, err)
+	}
+	return nil
+}
+
+// recv decodes one update from the given worker slot. A failed decode
+// marks the worker dead.
+func (c *Coordinator) recv(slot int) (Update, error) {
+	w := c.slot(slot)
+	var u Update
+	if err := w.dec.Decode(&u); err != nil {
+		c.markDead(slot)
+		return Update{}, fmt.Errorf("transport: receiving from worker %d: %w", slot, err)
+	}
+	return u, nil
+}
+
+// Shutdown tells every live worker to exit its serve loop. It is
+// best-effort by design: a worker that died after its last useful reply
+// must not fail a completed run.
 func (c *Coordinator) Shutdown() error {
-	_, err := c.Round(Broadcast{Done: true})
-	return err
+	var firstErr error
+	for _, slot := range c.liveSlots() {
+		if err := c.send(slot, Broadcast{Done: true}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Close shuts the coordinator and all worker connections down.
@@ -264,14 +289,15 @@ func Dial(addr string, id int) (*Worker, error) {
 	return &Worker{id: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-// Serve processes broadcasts with handle until the coordinator sends Done
-// or the connection closes. handle receives each broadcast and returns the
-// update to send back; outgoing updates are stamped with the worker id and
-// ProtocolVersion. A broadcast from a different protocol version, or a
-// handler error, is reported to the coordinator as an error Update and
-// then surfaced as Serve's own error — the worker does not try to keep
-// decoding a stream it may be misreading.
-func (w *Worker) Serve(handle func(Broadcast) (Update, error)) error {
+// Serve processes broadcasts until the coordinator sends Done or the
+// connection closes. handle receives each broadcast plus an emit function
+// that streams one acknowledged JobResult back to the coordinator; Serve
+// appends the final Done frame itself when handle returns. Outgoing frames
+// are stamped with the worker id and ProtocolVersion. A broadcast from a
+// different protocol version, or a handler error, is reported to the
+// coordinator on the final frame and then surfaced as Serve's own error —
+// the worker does not try to keep decoding a stream it may be misreading.
+func (w *Worker) Serve(handle func(b Broadcast, emit func(JobResult) error) error) error {
 	for {
 		var b Broadcast
 		if err := w.dec.Decode(&b); err != nil {
@@ -281,21 +307,20 @@ func (w *Worker) Serve(handle func(Broadcast) (Update, error)) error {
 			return nil
 		}
 		var fatal error
-		var u Update
+		final := Update{WorkerID: w.id, Version: ProtocolVersion, Done: true}
 		if b.Version != ProtocolVersion {
 			fatal = fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator sent v%d", w.id, ProtocolVersion, b.Version)
-			u = Update{Error: fatal.Error()}
+			final.Error = fatal.Error()
 		} else {
-			var err error
-			u, err = handle(b)
-			if err != nil {
+			emit := func(jr JobResult) error {
+				return w.enc.Encode(Update{WorkerID: w.id, Version: ProtocolVersion, Results: []JobResult{jr}})
+			}
+			if err := handle(b, emit); err != nil {
 				fatal = fmt.Errorf("transport: worker %d handler: %w", w.id, err)
-				u = Update{Error: err.Error()}
+				final.Error = err.Error()
 			}
 		}
-		u.WorkerID = w.id
-		u.Version = ProtocolVersion
-		if err := w.enc.Encode(u); err != nil {
+		if err := w.enc.Encode(final); err != nil {
 			return fmt.Errorf("transport: worker %d send: %w", w.id, err)
 		}
 		if fatal != nil {

@@ -7,11 +7,13 @@ import (
 	"net"
 	"reflect"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
+	"reffil/internal/autograd"
+	"reffil/internal/data"
 	"reffil/internal/fl"
+	"reffil/internal/nn"
 	"reffil/internal/tensor"
 )
 
@@ -54,95 +56,308 @@ func TestToWireCopiesData(t *testing.T) {
 	}
 }
 
-// TestFederationOverTCP runs a 3-worker federation over loopback: each
-// worker perturbs the broadcast weights by a worker-specific delta, and the
-// coordinator FedAvgs the updates. After the round the aggregate must equal
-// the weighted mean of the perturbations.
-func TestFederationOverTCP(t *testing.T) {
+// wireAlg is the minimal coordinator-side fl.Algorithm for Runner tests: a
+// single scalar parameter. The Runner only reads Global()'s state dict and
+// the algorithm's name; training happens in the tests' scripted worker
+// handlers, never through LocalTrain.
+type wireAlg struct {
+	w *autograd.Value
+}
+
+func newWireAlg(v float64) *wireAlg {
+	a := &wireAlg{w: autograd.Param(tensor.New(1))}
+	a.w.T.Data()[0] = v
+	return a
+}
+
+func (a *wireAlg) Name() string                       { return "wire" }
+func (a *wireAlg) Global() nn.Module                  { return a }
+func (a *wireAlg) Params() []nn.Param                 { return []nn.Param{{Name: "w", Value: a.w}} }
+func (a *wireAlg) Buffers() []nn.Buffer               { return nil }
+func (a *wireAlg) Spawn() (fl.Algorithm, error)       { return &wireAlg{w: a.w.CloneLeaf()}, nil }
+func (a *wireAlg) OnTaskStart(int) error              { return nil }
+func (a *wireAlg) OnTaskEnd(int, *data.Dataset) error { return nil }
+func (a *wireAlg) LocalTrain(*fl.LocalContext) (fl.Upload, error) {
+	return nil, nil
+}
+func (a *wireAlg) ServerRound(int, int, []fl.Upload) error { return nil }
+func (a *wireAlg) Predict(x *tensor.Tensor) ([]int, error) { return make([]int, x.Dim(0)), nil }
+
+var _ fl.Algorithm = (*wireAlg)(nil)
+
+// wireJobs builds placement-only jobs (no local context, no shards): the
+// scripted handlers below never materialize data.
+func wireJobs(clients ...int) []fl.Job {
+	jobs := make([]fl.Job, len(clients))
+	for i, id := range clients {
+		jobs[i] = fl.Job{Spec: fl.JobSpec{ClientID: id}, Weight: 1}
+	}
+	return jobs
+}
+
+// perturbHandler returns a streaming handler that "trains" each assigned
+// job by adding delta(clientID) to every broadcast weight and acks it.
+func perturbHandler(delta func(id int) float64) func(Broadcast, func(JobResult) error) error {
+	return func(b Broadcast, emit func(JobResult) error) error {
+		for k, spec := range b.Jobs {
+			state, err := FromWire(b.State)
+			if err != nil {
+				return err
+			}
+			for _, v := range state {
+				d := v.Data()
+				for j := range d {
+					d[j] += delta(spec.ClientID)
+				}
+			}
+			if err := emit(JobResult{Index: k, State: ToWire(state)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// acceptInOrder dials workers one at a time so slot order is
+// deterministic: worker i always lands in coordinator slot i.
+func acceptInOrder(t *testing.T, coord *Coordinator, serve ...func(w *Worker) error) []chan error {
+	t.Helper()
+	done := make([]chan error, len(serve))
+	for i, fn := range serve {
+		w, err := Dial(coord.Addr(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Accept(1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan error, 1)
+		done[i] = ch
+		go func(w *Worker, fn func(*Worker) error) {
+			defer w.Close()
+			ch <- fn(w)
+		}(w, fn)
+	}
+	return done
+}
+
+// TestRunnerStreamsPerJobAcks drives the v3 flow end to end over loopback:
+// three jobs fan out over two workers, each worker streams one ack per job
+// plus a Done frame, and the Runner maps the acks back into job order.
+func TestRunnerStreamsPerJobAcks(t *testing.T) {
 	coord, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
 
-	const nWorkers = 3
-	var wg sync.WaitGroup
-	workerErr := make([]error, nWorkers)
-	for i := 0; i < nWorkers; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			w, err := Dial(coord.Addr(), id)
-			if err != nil {
-				workerErr[id] = err
-				return
-			}
-			defer w.Close()
-			workerErr[id] = w.Serve(func(b Broadcast) (Update, error) {
-				state, err := FromWire(b.State)
-				if err != nil {
-					return Update{}, err
-				}
-				// Local "training": add id+1 to every weight.
-				for _, v := range state {
-					for j := range v.Data() {
-						v.Data()[j] += float64(id + 1)
-					}
-				}
-				return Update{Results: []JobResult{{Index: 0, State: ToWire(state)}}}, nil
-			})
-		}(i)
-	}
-	if err := coord.Accept(nWorkers, 5*time.Second); err != nil {
-		t.Fatal(err)
-	}
+	handler := perturbHandler(func(id int) float64 { return float64(id) })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error { return w.Serve(handler) },
+	)
 
-	global := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{10, 20}, 2)}
-	updates, err := coord.Round(Broadcast{Task: 0, Round: 0, State: ToWire(global)})
+	alg := newWireAlg(100)
+	r, err := NewRunner(coord, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Accept order (slot order) is racy, so recover each update's delta
-	// weight from the worker id Serve stamped on it.
-	var dicts []map[string]*tensor.Tensor
-	var weights []float64
-	for _, u := range updates {
-		if len(u.Results) != 1 {
-			t.Fatalf("worker %d sent %d results, want 1", u.WorkerID, len(u.Results))
-		}
-		d, err := FromWire(u.Results[0].State)
-		if err != nil {
-			t.Fatal(err)
-		}
-		dicts = append(dicts, d)
-		weights = append(weights, float64(u.WorkerID+1))
-	}
-	avg, err := fl.WeightedAverage(dicts, weights)
+	results, err := r.Run(wireJobs(1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Weighted mean of deltas: (1*1 + 2*2 + 3*3)/6 = 14/6.
-	wantDelta := 14.0 / 6.0
-	want := tensor.FromSlice([]float64{10 + wantDelta, 20 + wantDelta}, 2)
-	if !avg["w"].AllClose(want, 1e-9) {
-		t.Fatalf("aggregate = %v, want %v", avg["w"], want)
+	for i, want := range []float64{101, 102, 103} {
+		if got := results[i].Dict["w"].At(0); got != want {
+			t.Fatalf("job %d result = %v, want %v", i, got, want)
+		}
 	}
-
-	// Shut workers down and confirm clean exits.
 	if err := coord.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	wg.Wait()
-	for i, err := range workerErr {
-		if err != nil {
+	for i, ch := range done {
+		if err := <-ch; err != nil {
 			t.Fatalf("worker %d: %v", i, err)
 		}
 	}
 }
 
-// TestBroadcastRoundTrip pins the v2 wire framing: a Broadcast carrying
-// per-client job specs and method payload, and an Update carrying per-job
-// results, must gob round-trip without loss.
+// TestRunnerIdleWorkerStaysInLockstep runs a round with fewer jobs than
+// workers: the idle worker must receive an empty broadcast, answer with a
+// bare Done, and stay live for the next round.
+func TestRunnerIdleWorkerStaysInLockstep(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	handler := perturbHandler(func(id int) float64 { return 1 })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error { return w.Serve(handler) },
+	)
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		results, err := r.Run(wireJobs(7))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := results[0].Dict["w"].At(0); got != 1 {
+			t.Fatalf("round %d result = %v, want 1", round, got)
+		}
+	}
+	if got := coord.NumLive(); got != 2 {
+		t.Fatalf("live workers = %d, want 2", got)
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range done {
+		if err := <-ch; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// killAfterFirstAck wraps a streaming handler so the worker closes its
+// connection right after acknowledging its first job of the round —
+// the fault the re-queue machinery exists for.
+func killAfterFirstAck(w *Worker, inner func(Broadcast, func(JobResult) error) error) func(Broadcast, func(JobResult) error) error {
+	return func(b Broadcast, emit func(JobResult) error) error {
+		acked := false
+		return inner(b, func(jr JobResult) error {
+			if acked {
+				return nil // swallowed: the conn is already gone
+			}
+			if err := emit(jr); err != nil {
+				return err
+			}
+			acked = true
+			return w.Close()
+		})
+	}
+}
+
+// TestRunnerRequeuesDeadWorkerJobs is the transport-level fault-injection
+// test: worker 0 dies after acking the first of its two jobs, and the
+// round must still complete — the acked result kept, the unfinished job
+// re-queued on the survivor — with exactly the results an uncrashed run
+// would produce. A follow-up round must then run entirely on the survivor.
+func TestRunnerRequeuesDeadWorkerJobs(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	handler := perturbHandler(func(id int) float64 { return float64(id) })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
+		func(w *Worker) error { return w.Serve(handler) },
+	)
+
+	r, err := NewRunner(coord, newWireAlg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Requeue {
+		t.Fatal("re-queue must default on")
+	}
+	// Round-robin over 2 workers: slot 0 (the killer) gets jobs 0 and 2,
+	// slot 1 gets job 1. Job 0 is acked before the crash; job 2 must be
+	// re-queued onto slot 1.
+	results, err := r.Run(wireJobs(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{101, 102, 103} {
+		if got := results[i].Dict["w"].At(0); got != want {
+			t.Fatalf("job %d result = %v, want %v", i, got, want)
+		}
+	}
+	if got := coord.NumLive(); got != 1 {
+		t.Fatalf("live workers after crash = %d, want 1", got)
+	}
+	// The killer's Serve must have terminated with an error.
+	if err := <-done[0]; err == nil {
+		t.Fatal("killed worker's Serve returned nil")
+	}
+
+	// Survivor-only follow-up round.
+	results, err = r.Run(wireJobs(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{104, 105} {
+		if got := results[i].Dict["w"].At(0); got != want {
+			t.Fatalf("follow-up job %d result = %v, want %v", i, got, want)
+		}
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done[1]; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+}
+
+// TestRunnerFailsFastWithoutRequeue pins the opt-out: with Requeue off, a
+// worker death mid-round fails the round instead of re-queueing.
+func TestRunnerFailsFastWithoutRequeue(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	handler := perturbHandler(func(id int) float64 { return float64(id) })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
+		func(w *Worker) error { return w.Serve(handler) },
+	)
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Requeue = false
+	if _, err := r.Run(wireJobs(1, 2, 3)); err == nil || !strings.Contains(err.Error(), "re-queue disabled") {
+		t.Fatalf("run error = %v, want a re-queue-disabled failure", err)
+	}
+	<-done[0]
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done[1]; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+}
+
+// TestRunnerFailsWhenAllWorkersDie: with every worker dead mid-round there
+// is nowhere to re-queue, and the round must fail rather than spin.
+func TestRunnerFailsWhenAllWorkersDie(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	handler := perturbHandler(func(id int) float64 { return float64(id) })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
+	)
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(wireJobs(1, 2)); err == nil || !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("run error = %v, want a no-live-workers failure", err)
+	}
+	<-done[0]
+}
+
+// TestBroadcastRoundTrip pins the v3 wire framing: a Broadcast carrying
+// per-client job specs and method payload, and the per-job ack plus Done
+// updates, must gob round-trip without loss.
 func TestBroadcastRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	b := Broadcast{
@@ -181,32 +396,36 @@ func TestBroadcastRoundTrip(t *testing.T) {
 		t.Fatalf("broadcast round trip diverged:\n got %+v\nwant %+v", gotB, b)
 	}
 
-	u := Update{
-		Version:  ProtocolVersion,
-		WorkerID: 1,
-		Results: []JobResult{{
-			Index:  0,
-			State:  ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
-			Upload: []byte{1, 2},
-		}},
-	}
-	buf.Reset()
-	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
-		t.Fatal(err)
-	}
-	var gotU Update
-	if err := gob.NewDecoder(&buf).Decode(&gotU); err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(u, gotU) {
-		t.Fatalf("update round trip diverged:\n got %+v\nwant %+v", gotU, u)
+	for _, u := range []Update{
+		{
+			Version:  ProtocolVersion,
+			WorkerID: 1,
+			Results: []JobResult{{
+				Index:  0,
+				State:  ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
+				Upload: []byte{1, 2},
+			}},
+		},
+		{Version: ProtocolVersion, WorkerID: 1, Done: true},
+	} {
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+			t.Fatal(err)
+		}
+		var gotU Update
+		if err := gob.NewDecoder(&buf).Decode(&gotU); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(u, gotU) {
+			t.Fatalf("update round trip diverged:\n got %+v\nwant %+v", gotU, u)
+		}
 	}
 }
 
 // TestWorkerRejectsVersionMismatch drives a Worker.Serve loop from a raw
 // gob stream posing as a future-protocol coordinator: the worker must
-// report the mismatch as an error Update and terminate Serve with an
-// error rather than interpreting the frame.
+// report the mismatch on its final frame and terminate Serve with an
+// error rather than interpreting the broadcast.
 func TestWorkerRejectsVersionMismatch(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -223,9 +442,9 @@ func TestWorkerRejectsVersionMismatch(t *testing.T) {
 			return
 		}
 		defer w.Close()
-		serveErr <- w.Serve(func(Broadcast) (Update, error) {
+		serveErr <- w.Serve(func(Broadcast, func(JobResult) error) error {
 			handled <- struct{}{}
-			return Update{}, nil
+			return nil
 		})
 	}()
 
@@ -244,6 +463,9 @@ func TestWorkerRejectsVersionMismatch(t *testing.T) {
 	if u.Error == "" || !strings.Contains(u.Error, "protocol") {
 		t.Fatalf("update error = %q, want a protocol version rejection", u.Error)
 	}
+	if !u.Done {
+		t.Fatal("the error frame must be the stream's final frame")
+	}
 	if err := <-serveErr; err == nil || !strings.Contains(err.Error(), "protocol") {
 		t.Fatalf("Serve returned %v, want a protocol version error", err)
 	}
@@ -255,8 +477,8 @@ func TestWorkerRejectsVersionMismatch(t *testing.T) {
 }
 
 // TestCoordinatorRejectsVersionMismatch connects a raw gob stream posing
-// as an old-protocol worker: the coordinator's round must fail instead of
-// aggregating its update.
+// as an old-protocol worker: the Runner's round must fail instead of
+// consuming its acks.
 func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
 	coord, err := Listen("127.0.0.1:0")
 	if err != nil {
@@ -277,13 +499,16 @@ func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
 			done <- err
 			return
 		}
-		done <- gob.NewEncoder(conn).Encode(Update{Version: ProtocolVersion - 1})
+		done <- gob.NewEncoder(conn).Encode(Update{Version: ProtocolVersion - 1, Done: true})
 	}()
 	if err := coord.Accept(1, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	_, err = coord.Round(Broadcast{State: ToWire(map[string]*tensor.Tensor{"w": tensor.New(1)})})
-	if err == nil || !strings.Contains(err.Error(), "protocol") {
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(wireJobs(1)); err == nil || !strings.Contains(err.Error(), "protocol") {
 		t.Fatalf("round error = %v, want a protocol version rejection", err)
 	}
 	if err := <-done; err != nil {
@@ -291,13 +516,17 @@ func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
 	}
 }
 
-func TestCoordinatorRoundWithoutWorkers(t *testing.T) {
+func TestRunnerWithoutWorkers(t *testing.T) {
 	coord, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	if _, err := coord.Round(Broadcast{}); err == nil {
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(wireJobs(1)); err == nil {
 		t.Fatal("round with no workers must error")
 	}
 }
@@ -313,52 +542,40 @@ func TestAcceptTimeout(t *testing.T) {
 	}
 }
 
+// TestMultiRoundFederation runs five engine-free rounds through the Runner
+// with the aggregate fed back between rounds, checking the round stream
+// framing survives reuse of the same connections.
 func TestMultiRoundFederation(t *testing.T) {
 	coord, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		w, err := Dial(coord.Addr(), 0)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		defer w.Close()
-		_ = w.Serve(func(b Broadcast) (Update, error) {
-			state, err := FromWire(b.State)
-			if err != nil {
-				return Update{}, err
-			}
-			for _, v := range state {
-				v.Data()[0]++
-			}
-			return Update{Results: []JobResult{{Index: 0, State: ToWire(state)}}}, nil
-		})
-	}()
-	if err := coord.Accept(1, 5*time.Second); err != nil {
+	handler := perturbHandler(func(id int) float64 { return 1 })
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(handler) },
+	)
+	alg := newWireAlg(0)
+	r, err := NewRunner(coord, alg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	global := map[string]*tensor.Tensor{"w": tensor.New(1)}
-	for r := 0; r < 5; r++ {
-		updates, err := coord.Round(Broadcast{Round: r, State: ToWire(global)})
+	for round := 0; round < 5; round++ {
+		results, err := r.Run(wireJobs(1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		global, err = FromWire(updates[0].Results[0].State)
-		if err != nil {
+		if err := nn.LoadStateDict(alg.Global(), results[0].Dict); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := global["w"].At(0); got != 5 {
+	if got := alg.w.T.At(0); got != 5 {
 		t.Fatalf("after 5 rounds w = %v, want 5", got)
 	}
 	if err := coord.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	wg.Wait()
+	if err := <-done[0]; err != nil {
+		t.Fatal(err)
+	}
 }
