@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"os"
@@ -21,6 +22,8 @@ import (
 	"reffil/internal/data"
 	"reffil/internal/experiments"
 	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/fl/wire"
 	"reffil/internal/model"
 	"reffil/internal/nn"
 	"reffil/internal/tensor"
@@ -451,4 +454,115 @@ func BenchmarkTableVIII(b *testing.B) {
 		b.Fatal(err)
 	}
 	reportRefFiL(b, res["ours"])
+}
+
+// BenchmarkBroadcastEncode prices the v4 delta-broadcast wire subsystem on
+// the LwF scenario — the method whose wire state (the frozen distillation
+// teacher, a complete model) made full rebroadcast twice the size of the
+// state dict. The setup reproduces a steady-state task-1 round: weights
+// trained past initialization, teacher snapshotted at task start, and a
+// worker already holding the previous round's state. Each op encodes one
+// round's broadcast frame for that worker — SetRound, FrameFor, and the
+// gob serialization the transport would put on the socket — and bytes/round
+// reports the measured frame size. Full re-sends state + teacher every
+// round; delta ships only changed keys and skips the unchanged teacher
+// payload; topk further sparsifies each key to its largest-magnitude
+// changes (lossy). BENCH_wire.json records the measured reduction, which is
+// CPU-count independent.
+func BenchmarkBroadcastEncode(b *testing.B) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := experiments.NewMethodFromFlag("lwf", model.DefaultConfig(family.Classes), 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	localCtx := func(task int, seed int64) *fl.LocalContext {
+		train, _, err := family.Generate(family.Domains[task], 48, 12, fl.TaskSeed(seed, task))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &fl.LocalContext{
+			ClientID: 0, Task: task, ClientTask: task, Group: fl.GroupNew,
+			Data: train, Epochs: 1, BatchSize: 8, LR: 0.05,
+			Rng: rand.New(rand.NewSource(seed)),
+		}
+	}
+	// Task 0 training moves the global off initialization; OnTaskStart(1)
+	// freezes it as the distillation teacher; one more local phase yields
+	// the next round's state, so (base, next) is a realistic round pair.
+	if _, err := alg.LocalTrain(localCtx(0, benchSeed)); err != nil {
+		b.Fatal(err)
+	}
+	if err := alg.OnTaskStart(1); err != nil {
+		b.Fatal(err)
+	}
+	base := nn.StateDict(alg.Global())
+	payload, err := alg.(fl.WireStater).EncodeWireState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := alg.LocalTrain(localCtx(1, benchSeed+1)); err != nil {
+		b.Fatal(err)
+	}
+	next := nn.StateDict(alg.Global())
+
+	for _, codecName := range wire.Names() {
+		codecName := codecName
+		b.Run(codecName, func(b *testing.B) {
+			codec, err := wire.New(codecName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc, err := wire.NewEncoder(codec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Bring the simulated worker to the previous round's state.
+			tracker := &wire.Tracker{}
+			enc.SetRound(base, payload)
+			f0, err := enc.FrameFor(tracker, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := enc.Ack(tracker, f0); err != nil {
+				b.Fatal(err)
+			}
+			var sink countingWriter
+			genc := gob.NewEncoder(&sink)
+			// Prime the gob stream with one broadcast so its one-time type
+			// descriptors don't land in the measured frames: a live
+			// connection pays them once, and bytes/round must not depend on
+			// -benchtime.
+			if err := genc.Encode(transport.Broadcast{Version: transport.ProtocolVersion, Frame: *f0}); err != nil {
+				b.Fatal(err)
+			}
+			var frameBytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.SetRound(next, payload)
+				f, err := enc.FrameFor(tracker, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := sink.n
+				bc := transport.Broadcast{Version: transport.ProtocolVersion, Task: 1, Round: 1, Frame: *f}
+				if err := genc.Encode(bc); err != nil {
+					b.Fatal(err)
+				}
+				frameBytes = sink.n - before
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(frameBytes), "bytes/round")
+		})
+	}
+}
+
+// countingWriter counts bytes written and discards them.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
 }

@@ -23,6 +23,14 @@
 // bounded-staleness async rounds where results may report up to S rounds
 // late with 1/(1+k)-discounted FedAvg weight; -straggler simulates lagging
 // clients deterministically.
+//
+// -codec selects the broadcast wire format (protocol v4): "full" rebroadcasts
+// the complete state and method wire state every round (the legacy baseline),
+// "delta" ships per-key diffs against each worker's last-acked base version
+// and re-sends the wire state (e.g. LwF's teacher, a full model) only when
+// its bytes change, and "topk" additionally sparsifies each changed key to
+// its largest-magnitude element changes (lossy). full and delta produce
+// bit-identical accuracy matrices; per-round byte savings are logged.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"reffil/internal/experiments"
 	"reffil/internal/fl"
 	"reffil/internal/fl/transport"
+	"reffil/internal/fl/wire"
 	"reffil/internal/model"
 )
 
@@ -45,6 +54,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedserver:", err)
 		os.Exit(1)
 	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// perRound divides safely.
+func perRound(total, rounds int64) int64 {
+	if rounds == 0 {
+		return 0
+	}
+	return total / rounds
 }
 
 func run() error {
@@ -70,6 +99,8 @@ func run() error {
 		staleness = flag.Int("staleness", 0, "bounded-staleness window S: results may report up to S rounds late with discounted FedAvg weight (0 = synchronous rounds, bit-identical to the local engine)")
 		straggler = flag.Float64("straggler", 0, "per-(round,client) probability of lagging 1..S rounds (deterministic simulation; requires -staleness >= 1)")
 		requeue   = flag.Bool("requeue", true, "re-queue a dead worker's unfinished jobs on the survivors instead of failing the round")
+		codec     = flag.String("codec", "full", "broadcast codec: "+strings.Join(wire.Names(), "|")+" (delta sends per-key diffs against each worker's acked base and re-sends method wire state only when it changes; full and delta are bit-identical)")
+		wireLog   = flag.Bool("wire-log", true, "log per-round wire statistics (bytes broadcast/uploaded, frame kinds, fallbacks)")
 	)
 	flag.Parse()
 	if *straggler > 0 && *staleness < 1 {
@@ -105,6 +136,16 @@ func run() error {
 		return err
 	}
 	tr.Requeue = *requeue
+	if err := tr.UseCodec(*codec); err != nil {
+		return err
+	}
+	if *wireLog {
+		tr.OnRound = func(rs transport.RoundStats) {
+			fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s, frames %d full/%d delta/%d idle, %d fallbacks, %d attempts\n",
+				rs.Task, rs.Round, fmtBytes(rs.BroadcastBytes), fmtBytes(rs.UploadBytes),
+				rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.Attempts)
+		}
+	}
 	// With a staleness window the engine runs bounded-staleness rounds:
 	// lagging results report into later rounds of the same task with
 	// 1/(1+k)-discounted weight. At -staleness 0 the AsyncRunner wrapper is
@@ -146,6 +187,10 @@ func run() error {
 	if ar, ok := runner.(*fl.AsyncRunner); ok {
 		fmt.Printf("async rounds: staleness window %d, %d results dropped beyond the bound\n", ar.Staleness, ar.Dropped())
 	}
+	st := tr.Stats()
+	fmt.Printf("wire totals (codec %s): %d rounds, broadcast %s (%s/round), uploads %s, frames %d full/%d delta/%d idle, %d full-snapshot fallbacks\n",
+		tr.Codec(), st.Rounds, fmtBytes(st.BroadcastBytes), fmtBytes(perRound(st.BroadcastBytes, st.Rounds)),
+		fmtBytes(st.UploadBytes), st.FullFrames, st.DeltaFrames, st.IdleFrames, st.Fallbacks)
 	fmt.Printf("\naccuracy matrix (%s on %s, %d tasks, %d workers):\n", alg.Name(), family.Name, len(domains), *workers)
 	mat.FprintTriangle(os.Stdout)
 	sum, err := mat.Summarize()

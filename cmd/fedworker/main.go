@@ -10,6 +10,12 @@
 // unfinished jobs here in a follow-up broadcast for the same round; jobs
 // are placement-free, so re-execution yields the identical result.
 //
+// Broadcast state arrives as versioned wire frames (protocol v4): a full
+// snapshot the first time, then — under the fedserver's -codec delta —
+// per-key diffs against the state this worker already holds, with the
+// method's wire state re-sent only when it changes. -codec optionally pins
+// which codec this worker accepts.
+//
 // -method, -dataset, -tasks and -seed must match the fedserver's flags:
 // the construction seed fixes the initial weights on both sides. See
 // cmd/fedserver for the full deployment recipe.
@@ -24,6 +30,7 @@ import (
 	"reffil/internal/data"
 	"reffil/internal/experiments"
 	"reffil/internal/fl/transport"
+	"reffil/internal/fl/wire"
 	"reffil/internal/model"
 )
 
@@ -43,6 +50,7 @@ func run() error {
 		tasks   = flag.Int("tasks", 2, "incremental tasks (must match fedserver; 0 = all domains)")
 		seed    = flag.Int64("seed", 1, "shared run seed (must match fedserver)")
 		jobs    = flag.Int("jobs", 0, "concurrent jobs per round (0 = NumCPU)")
+		codec   = flag.String("codec", "", "pin the accepted broadcast codec ("+strings.Join(wire.Names(), "|")+"); empty accepts whatever the coordinator sends")
 	)
 	flag.Parse()
 
@@ -61,6 +69,12 @@ func run() error {
 	ex, err := transport.NewExecutor(alg, *jobs)
 	if err != nil {
 		return err
+	}
+	if *codec != "" {
+		if _, err := wire.New(*codec); err != nil {
+			return err
+		}
+		ex.ExpectCodec = *codec
 	}
 
 	w, err := transport.Dial(*addr, *id)

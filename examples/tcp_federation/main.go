@@ -2,10 +2,13 @@
 // over a real network transport. A coordinator listens on loopback; two
 // worker processes (goroutines here, but each speaks only gob-over-TCP)
 // execute the rounds' jobs, deriving their private shards from the job
-// specs — no training data crosses the wire. The same engine then runs
-// in-process, and the two accuracy matrices are compared cell by cell:
-// the networked path is not an approximation of the local one, it is the
-// same computation.
+// specs — no training data crosses the wire. The networked run uses the
+// v4 delta-broadcast wire format (-codec delta in the CLIs): per-key state
+// diffs against each worker's acked base version, method wire state only
+// when it changes, and per-round byte accounting printed as it runs. The
+// same engine then runs in-process, and the two accuracy matrices are
+// compared cell by cell: the delta-encoded networked path is not an
+// approximation of the local one, it is the same computation.
 //
 // A second networked run then demonstrates bounded-staleness async
 // rounds: an fl.AsyncRunner with staleness window S=1 over the same
@@ -97,7 +100,8 @@ func run() error {
 	}
 	fmt.Printf("%d workers connected\n", numWorkers)
 
-	// Networked run: the engine schedules, the transport Runner fans out.
+	// Networked run: the engine schedules, the transport Runner fans out
+	// delta-encoded broadcasts and accounts every byte.
 	alg, err := newAlg(family, len(domains))
 	if err != nil {
 		return err
@@ -105,6 +109,13 @@ func run() error {
 	runner, err := transport.NewRunner(coord, alg)
 	if err != nil {
 		return err
+	}
+	if err := runner.UseCodec("delta"); err != nil {
+		return err
+	}
+	runner.OnRound = func(rs transport.RoundStats) {
+		fmt.Printf("  [wire] task %d round %d: broadcast %d B, uploads %d B, frames %d full/%d delta/%d idle\n",
+			rs.Task, rs.Round, rs.BroadcastBytes, rs.UploadBytes, rs.FullFrames, rs.DeltaFrames, rs.IdleFrames)
 	}
 	eng, err := fl.NewEngineWithRunner(config(), alg, runner)
 	if err != nil {
@@ -136,6 +147,9 @@ func run() error {
 		return err
 	}
 
+	st := runner.Stats()
+	fmt.Printf("wire totals (codec delta): broadcast %d B over %d rounds, %d full-snapshot fallbacks\n",
+		st.BroadcastBytes, st.Rounds, st.Fallbacks)
 	printMatrix("over TCP", tcpMat)
 	printMatrix("in-process", localMat)
 	for t := range tcpMat.A {
@@ -146,7 +160,7 @@ func run() error {
 			}
 		}
 	}
-	fmt.Println("networked and in-process runs are bit-identical")
+	fmt.Println("delta-encoded networked run and in-process run are bit-identical")
 
 	return runAsync(family, domains)
 }

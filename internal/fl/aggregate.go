@@ -21,6 +21,15 @@ import (
 // sum_m (w_m / sum w) * dict_m, entry-wise. All dicts must share the same
 // keys and shapes; weights must be positive.
 //
+// Keys on which every client agrees bit for bit short-circuit to a copy of
+// that unanimous value: the weighted average of identical values is exactly
+// that value, while the floating-point accumulation would perturb it by an
+// ulp per round (the normalized weights do not sum to exactly 1). This
+// keeps frozen parameters and buffers — prompt methods freeze the whole
+// backbone — bit-stable across rounds, which is both mathematically exact
+// and what lets the delta-broadcast wire codec (internal/fl/wire) skip
+// them.
+//
 // The state dict's keys are sharded across internal/parallel: entries are
 // independent, so each worker reduces a contiguous slice of the sorted key
 // list. Within one entry the accumulation order over clients is fixed
@@ -66,22 +75,37 @@ func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[
 	parallel.For(len(names), grain, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			name := names[k]
-			acc := tensor.New(dicts[0][name].Shape()...)
+			first := dicts[0][name]
+			// Validate every client's entry and test unanimity in one pass.
+			// For trained keys the comparison exits on the first differing
+			// element, so the scan is nearly free where it does not pay off.
+			unanimous := true
 			for i, d := range dicts {
 				src, ok := d[name]
 				if !ok {
 					errs[k] = fmt.Errorf("fl: client %d update missing entry %q", i, name)
 					break
 				}
-				if src.Size() != acc.Size() {
-					errs[k] = fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), acc.Size())
+				if src.Size() != first.Size() {
+					errs[k] = fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), first.Size())
 					break
 				}
-				acc.AddScaledInPlace(scales[i], src)
+				if i > 0 && unanimous {
+					unanimous = src.EqualBits(first)
+				}
 			}
-			if errs[k] == nil {
-				accs[k] = acc
+			if errs[k] != nil {
+				continue
 			}
+			if unanimous {
+				accs[k] = first.Clone()
+				continue
+			}
+			acc := tensor.New(first.Shape()...)
+			for i, d := range dicts {
+				acc.AddScaledInPlace(scales[i], d[name])
+			}
+			accs[k] = acc
 		}
 	})
 	for _, err := range errs {

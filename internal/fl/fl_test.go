@@ -584,3 +584,48 @@ func TestGroupString(t *testing.T) {
 		t.Fatal("unknown group must still render")
 	}
 }
+
+// TestWeightedAverageUnanimousKeyExact pins the unanimity short-circuit:
+// a key on which every client agrees bit for bit aggregates to exactly that
+// value (no floating-point drift from the normalized-weight accumulation),
+// while keys with any disagreement still take the accumulation path. The
+// bit-stability of unanimous keys is what lets the delta wire codec skip
+// frozen parameters round over round.
+func TestWeightedAverageUnanimousKeyExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	frozen := tensor.RandN(rng, 1, 4, 3)
+	const clients = 3
+	dicts := make([]map[string]*tensor.Tensor, clients)
+	weights := make([]float64, clients)
+	for c := range dicts {
+		trained := tensor.RandN(rng, 1, 4, 3)
+		dicts[c] = map[string]*tensor.Tensor{
+			"frozen":  frozen.Clone(),
+			"trained": trained,
+		}
+		weights[c] = 0.3 + rng.Float64() // sums to something ≠ 1
+	}
+	got, err := WeightedAverage(dicts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range frozen.Data() {
+		if got["frozen"].Data()[i] != v {
+			t.Fatalf("unanimous key drifted at element %d: %v vs %v", i, got["frozen"].Data()[i], v)
+		}
+	}
+	if got["frozen"] == dicts[0]["frozen"] {
+		t.Fatal("unanimous key must be copied, not aliased to a client's tensor")
+	}
+	// The trained key must genuinely be averaged, not copied from client 0.
+	same := true
+	for i, v := range dicts[0]["trained"].Data() {
+		if got["trained"].Data()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("non-unanimous key was copied instead of averaged")
+	}
+}

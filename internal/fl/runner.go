@@ -54,10 +54,16 @@ type Runner interface {
 // WireStater is implemented by algorithms whose LocalTrain reads
 // server-side state living outside Global()'s state dict — LwF's frozen
 // distillation teacher, EWC's consolidated Fisher/anchor maps, RefFiL's
-// clustered prompt bank and task counter. Networked runners broadcast the
-// encoded state each round; workers load it before training so that their
-// replicas match the server's Spawn replicas exactly. Algorithms whose
-// mutable state is entirely inside Global() need not implement it.
+// clustered prompt bank and task counter. Networked runners version the
+// encoded bytes (internal/fl/wire) and re-broadcast them only when they
+// change — state that moves at task boundaries, like the teacher or the
+// Fisher maps, crosses the wire once per task instead of every round —
+// and workers load each new version before training so that their
+// replicas match the server's Spawn replicas exactly. EncodeWireState
+// must therefore be deterministic for unchanged state: equal state, equal
+// bytes (checkpoint and gob encodings of the same values qualify).
+// Algorithms whose mutable state is entirely inside Global() need not
+// implement it.
 type WireStater interface {
 	EncodeWireState() ([]byte, error)
 	LoadWireState(b []byte) error

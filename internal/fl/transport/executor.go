@@ -5,17 +5,21 @@ import (
 
 	"reffil/internal/data"
 	"reffil/internal/fl"
+	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
 )
 
 // Executor is the worker side of a networked federation round: given a
-// broadcast, it installs the coordinator's global state and method wire
-// state into its local algorithm instance, derives each assigned job's
-// data shard from its spec (no data crosses the wire), and runs its slice
-// of the round through the same fl.LocalRunner worker pool the in-process
-// engine uses — Spawn replicas, per-job seeded RNGs — acknowledging each
-// job the moment it completes. Per-job acks are what let the coordinator
-// salvage a crashing worker's finished work and re-queue only the rest.
+// broadcast, it applies the coordinator's versioned state frame to its
+// local algorithm instance — a full snapshot, a per-key diff against the
+// state it already holds, or nothing at all when it is already current —
+// loads the method wire state only when the frame carries new payload
+// bytes, derives each assigned job's data shard from its spec (no data
+// crosses the wire), and runs its slice of the round through the same
+// fl.LocalRunner worker pool the in-process engine uses — Spawn replicas,
+// per-job seeded RNGs — acknowledging each job the moment it completes.
+// Per-job acks are what let the coordinator salvage a crashing worker's
+// finished work and re-queue only the rest.
 //
 // The algorithm must be constructed exactly as the coordinator's (same
 // method, model config, task horizon and construction seed): broadcast
@@ -25,7 +29,9 @@ import (
 // A broadcast carries no placement history: a job that another worker
 // started before dying re-executes here from the spec alone and — every
 // job being a self-contained deterministic computation — produces the
-// byte-identical result.
+// byte-identical result. The frame's version checks guarantee the replayed
+// job trains against exactly the state the coordinator intended: a delta
+// against a base this worker does not hold is rejected, not guessed at.
 type Executor struct {
 	alg fl.Algorithm
 	// workers caps concurrent jobs per broadcast (fl.LocalRunner
@@ -35,6 +41,13 @@ type Executor struct {
 	// one task is immutable, and re-deriving it every round would regenerate
 	// the domain dataset each time.
 	shards map[fl.ShardSpec]*data.Dataset
+	// tracker is this worker's receive-side state machine: the state
+	// version/dict and payload version currently installed.
+	tracker wire.Tracker
+	// ExpectCodec, when non-empty, pins the codec this worker accepts:
+	// state patches produced by any other codec are rejected (the
+	// fedworker -codec flag).
+	ExpectCodec string
 }
 
 // NewExecutor builds an executor over the worker's algorithm instance.
@@ -50,19 +63,26 @@ func NewExecutor(alg fl.Algorithm, workers int) (*Executor, error) {
 // their Index). Pass it to Worker.Serve, whose emit already serializes
 // onto the connection.
 func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
-	state, err := FromWire(b.State)
+	if e.ExpectCodec != "" && b.Frame.Kind != wire.KindNone && b.Frame.Patch.Codec != e.ExpectCodec {
+		return fmt.Errorf("transport: coordinator broadcasts codec %q, worker pinned to %q", b.Frame.Patch.Codec, e.ExpectCodec)
+	}
+	stateChanged, payload, payloadChanged, err := e.tracker.Apply(&b.Frame)
 	if err != nil {
-		return fmt.Errorf("broadcast state: %w", err)
+		return fmt.Errorf("broadcast frame: %w", err)
 	}
-	if err := nn.LoadStateDict(e.alg.Global(), state); err != nil {
-		return fmt.Errorf("installing broadcast state: %w", err)
-	}
-	if ws, ok := e.alg.(fl.WireStater); ok {
-		if err := ws.LoadWireState(b.Payload); err != nil {
-			return fmt.Errorf("installing wire state: %w", err)
+	if stateChanged {
+		if err := nn.LoadStateDict(e.alg.Global(), e.tracker.Dict); err != nil {
+			return fmt.Errorf("installing broadcast state: %w", err)
 		}
-	} else if len(b.Payload) > 0 {
-		return fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(b.Payload))
+	}
+	if payloadChanged {
+		if ws, ok := e.alg.(fl.WireStater); ok {
+			if err := ws.LoadWireState(payload); err != nil {
+				return fmt.Errorf("installing wire state: %w", err)
+			}
+		} else if len(payload) > 0 {
+			return fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(payload))
+		}
 	}
 
 	jobs := make([]fl.Job, len(b.Jobs))

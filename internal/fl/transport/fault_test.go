@@ -52,8 +52,9 @@ func localReference(t *testing.T, method string, family *data.Family, domains []
 // at a time so the killer deterministically occupies slot 0 — the slot
 // that round-robin assignment hands the round's first (and, with three
 // jobs over two workers, third) job, guaranteeing the crash strands at
-// least one unfinished job for the survivor to pick up.
-func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains []string, crashTask, crashRound int) [][]float64 {
+// least one unfinished job for the survivor to pick up. codec selects the
+// broadcast codec ("" = the default full snapshots).
+func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains []string, crashTask, crashRound int, codec string) [][]float64 {
 	t.Helper()
 	coord, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
@@ -128,6 +129,11 @@ func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains [
 	if err != nil {
 		t.Fatal(err)
 	}
+	if codec != "" {
+		if err := runner.UseCodec(codec); err != nil {
+			t.Fatal(err)
+		}
+	}
 	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
 	if err != nil {
 		t.Fatal(err)
@@ -158,6 +164,13 @@ func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains [
 // method wire state (EWC's Fisher/anchors, LwF's teacher) on a worker
 // that never trained them before — the re-queue path's wire-state gate.
 // RefFiL crashing in task 0 covers the prompt-upload path under re-queue.
+//
+// The delta-codec cases re-run the crash under delta broadcast: the
+// coordinator drops the dead worker's base tracking, the survivor's
+// follow-up broadcast for the same round carries no state (it is already
+// at the round's version), and — for LwF — the teacher payload it loaded
+// at task start must serve the re-executed job unchanged. Bit-identical
+// matrices prove the re-queue/delta interaction loses nothing.
 func TestFaultInjectionCrashMidRound(t *testing.T) {
 	family, err := data.NewFamily("pacs", 16)
 	if err != nil {
@@ -168,19 +181,31 @@ func TestFaultInjectionCrashMidRound(t *testing.T) {
 		method     string
 		crashTask  int
 		crashRound int
+		codec      string
 	}{
-		{"reffil", 0, 1},
-		{"ewc", 1, 0},
-		{"lwf", 1, 0},
+		{"reffil", 0, 1, ""},
+		{"ewc", 1, 0, ""},
+		{"lwf", 1, 0, ""},
+		{"reffil", 0, 1, "delta"},
+		{"lwf", 1, 0, "delta"},
 	}
 	if testing.Short() {
-		cases = cases[:1]
+		cases = []struct {
+			method     string
+			crashTask  int
+			crashRound int
+			codec      string
+		}{{"reffil", 0, 1, ""}, {"lwf", 1, 0, "delta"}}
 	}
 	for _, tc := range cases {
 		tc := tc
-		t.Run(fmt.Sprintf("%s/task%d_round%d", tc.method, tc.crashTask, tc.crashRound), func(t *testing.T) {
+		name := fmt.Sprintf("%s/task%d_round%d", tc.method, tc.crashTask, tc.crashRound)
+		if tc.codec != "" {
+			name += "/" + tc.codec
+		}
+		t.Run(name, func(t *testing.T) {
 			want := localReference(t, tc.method, family, domains)
-			got := runTCPWithCrash(t, tc.method, family, domains, tc.crashTask, tc.crashRound)
+			got := runTCPWithCrash(t, tc.method, family, domains, tc.crashTask, tc.crashRound, tc.codec)
 			requireSameMatrix(t, "crashed-and-requeued", want, got)
 		})
 	}

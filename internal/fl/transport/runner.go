@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"reffil/internal/fl"
+	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
 )
 
@@ -14,11 +15,17 @@ import (
 // fl.Engine built on it runs every paper scenario multi-node with the same
 // mechanics — and the same numbers — as the in-process pool.
 //
-// Per round it broadcasts the algorithm's current global state dict plus
-// its encoded wire state (fl.WireStater) to every live worker, with jobs
-// assigned round-robin by worker slot. Assignment never affects results:
-// each job is a self-contained deterministic computation (see fl.Runner),
-// so any placement produces the same accuracy matrix.
+// Per round it hands each live worker a versioned wire.Frame: under the
+// default full codec that is the complete state dict plus the method's
+// encoded wire state (fl.WireStater), the legacy behavior; under the delta
+// codecs (UseCodec) the coordinator tracks which base version each worker
+// last acknowledged and sends per-key diffs against it, with the wire-state
+// payload re-sent only when its bytes change, and falls back to a full
+// snapshot for workers with no usable base. Jobs are assigned round-robin
+// by worker slot; assignment never affects results: each job is a
+// self-contained deterministic computation (see fl.Runner), so any
+// placement produces the same accuracy matrix — and under any lossless
+// codec, the same bits.
 //
 // With Requeue set, a worker connection dying mid-round no longer fails
 // the round: the dead worker's acknowledged results are kept, its
@@ -26,7 +33,9 @@ import (
 // workers, and the round completes with exactly the result set an
 // uncrashed run would have produced. Only connection failures re-queue;
 // an error the worker itself reports is deterministic and fails the round
-// (re-running the job elsewhere would fail identically).
+// (re-running the job elsewhere would fail identically). A dead worker's
+// base-version tracking is dropped with it, so any future re-join starts
+// from a full snapshot.
 type Runner struct {
 	coord *Coordinator
 	alg   fl.Algorithm
@@ -34,12 +43,26 @@ type Runner struct {
 	// jobs. When false, a worker death mid-round fails the round (the
 	// pre-v3 behaviour).
 	Requeue bool
+	// OnRound, when non-nil, receives the wire statistics of each completed
+	// round dispatch (fedserver logs them). Called synchronously at the end
+	// of Run.
+	OnRound func(RoundStats)
+
+	enc *wire.Encoder
+	// tmu guards trackers and stats; tracker structs are only mutated under
+	// it too (acks from different workers land concurrently).
+	tmu      sync.Mutex
+	trackers map[int]*wire.Tracker
+	stats    Stats
+	started  bool
 }
 
 // NewRunner wraps a coordinator and the engine's algorithm instance. The
 // algorithm must be the same instance the fl.Engine aggregates into —
 // Run reads its Global() state and wire state at each round's start.
-// Re-queueing starts enabled; clear Requeue for fail-fast rounds.
+// Re-queueing starts enabled; clear Requeue for fail-fast rounds. The
+// codec starts as "full" (legacy complete snapshots); call UseCodec before
+// the first round to switch to delta broadcast.
 func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
 	if coord == nil {
 		return nil, fmt.Errorf("transport: runner needs a coordinator")
@@ -47,7 +70,73 @@ func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
 	if alg == nil {
 		return nil, fmt.Errorf("transport: runner needs an algorithm")
 	}
-	return &Runner{coord: coord, alg: alg, Requeue: true}, nil
+	enc, err := wire.NewEncoder(wire.Full{})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{coord: coord, alg: alg, Requeue: true, enc: enc, trackers: make(map[int]*wire.Tracker)}, nil
+}
+
+// UseCodec selects the broadcast codec by registry name (full|delta|topk).
+// It must be called before the first round: switching codecs mid-run would
+// invalidate the per-worker base tracking.
+func (r *Runner) UseCodec(name string) error {
+	if r.started {
+		return fmt.Errorf("transport: cannot switch codec after the first round")
+	}
+	codec, err := wire.New(name)
+	if err != nil {
+		return err
+	}
+	enc, err := wire.NewEncoder(codec)
+	if err != nil {
+		return err
+	}
+	r.enc = enc
+	return nil
+}
+
+// Codec returns the active codec's registry name.
+func (r *Runner) Codec() string { return r.enc.Codec().Name() }
+
+// Stats returns the cumulative wire accounting across completed rounds.
+func (r *Runner) Stats() Stats {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	return r.stats
+}
+
+// tracker returns (creating if needed) the base-version tracker for a
+// worker slot.
+func (r *Runner) tracker(slot int) *wire.Tracker {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	t, ok := r.trackers[slot]
+	if !ok {
+		t = &wire.Tracker{}
+		r.trackers[slot] = t
+	}
+	return t
+}
+
+// dropTracker forgets a worker's base tracking (its connection died; what
+// it holds is unknowable, so any successor starts from a full snapshot).
+func (r *Runner) dropTracker(slot int) {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	delete(r.trackers, slot)
+}
+
+// ackTracker mirrors a frame the worker confirmed processing into the
+// coordinator's tracker for that slot.
+func (r *Runner) ackTracker(slot int, f *wire.Frame) error {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	t, ok := r.trackers[slot]
+	if !ok {
+		return fmt.Errorf("transport: ack for worker %d with no tracker", slot)
+	}
+	return r.enc.Ack(t, f)
 }
 
 // Run implements fl.Runner over the wire. Each attempt round-robins the
@@ -59,7 +148,6 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
-	state := ToWire(nn.StateDict(r.alg.Global()))
 	var payload []byte
 	if ws, ok := r.alg.(fl.WireStater); ok {
 		var err error
@@ -68,6 +156,12 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			return nil, fmt.Errorf("transport: encoding wire state: %w", err)
 		}
 	}
+	// StateDict clones, so the encoder's canonical dict is immune to the
+	// engine mutating the global during aggregation.
+	r.enc.SetRound(nn.StateDict(r.alg.Global()), payload)
+	r.started = true
+	startIn, startOut := r.coord.BytesTransferred()
+	rs := RoundStats{Task: jobs[0].Spec.Task, Round: jobs[0].Spec.Round}
 
 	results := make([]fl.Result, len(jobs))
 	got := make([]bool, len(jobs))
@@ -81,6 +175,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 		if len(live) == 0 {
 			return nil, fmt.Errorf("transport: no live workers with %d of %d jobs unfinished", len(remaining), len(jobs))
 		}
+		rs.Attempts = attempt + 1
 		// Round-robin the unfinished jobs over the live slots; assign[slot]
 		// lists round indices, and a job's position in that list is the
 		// Index its ack will carry.
@@ -90,9 +185,10 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			assign[slot] = append(assign[slot], ji)
 		}
 		// The first attempt broadcasts to every live worker — idle ones
-		// get an empty job list and answer with a bare Done, keeping all
-		// workers in lockstep with the round stream. Re-queue attempts
-		// only disturb survivors that actually receive work.
+		// get an empty job list (and, under delta codecs, no state at all)
+		// and answer with a bare Done, keeping all workers in lockstep with
+		// the round stream. Re-queue attempts only disturb survivors that
+		// actually receive work.
 		targets := live
 		if attempt > 0 {
 			targets = make([]int, 0, len(live))
@@ -103,8 +199,21 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			}
 		}
 
+		// Frames are built serially against each worker's tracked base —
+		// deterministic, and the per-key diffing inside the codec already
+		// fans out over internal/parallel. Identical bases share one
+		// encoded patch.
+		frames := make(map[int]*wire.Frame, len(targets))
+		for _, slot := range targets {
+			f, err := r.enc.FrameFor(r.tracker(slot), len(assign[slot]) > 0)
+			if err != nil {
+				return nil, fmt.Errorf("transport: encoding frame for worker %d: %w", slot, err)
+			}
+			frames[slot] = f
+		}
+
 		var (
-			mu    sync.Mutex // guards results/got and the fatal error
+			mu    sync.Mutex // guards results/got, frame stats and the fatal error
 			fatal error
 			wg    sync.WaitGroup
 		)
@@ -124,20 +233,35 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 				for k, ji := range idxs {
 					specs[k] = jobs[ji].Spec
 				}
+				f := frames[slot]
 				b := Broadcast{
-					Task:    jobs[0].Spec.Task,
-					Round:   jobs[0].Spec.Round,
-					State:   state,
-					Payload: payload,
-					Jobs:    specs,
+					Task:  jobs[0].Spec.Task,
+					Round: jobs[0].Spec.Round,
+					Frame: *f,
+					Jobs:  specs,
 				}
 				if err := r.coord.send(slot, b); err != nil {
-					return // marked dead; its jobs stay unacked
+					r.dropTracker(slot) // marked dead; its jobs stay unacked
+					return
 				}
+				mu.Lock()
+				switch f.Kind {
+				case wire.KindFull:
+					rs.FullFrames++
+					if r.enc.Codec().Name() != wire.CodecFull {
+						rs.Fallbacks++
+					}
+				case wire.KindDelta:
+					rs.DeltaFrames++
+				case wire.KindNone:
+					rs.IdleFrames++
+				}
+				mu.Unlock()
 				acked := 0
 				for {
 					u, err := r.coord.recv(slot)
 					if err != nil {
+						r.dropTracker(slot)
 						return // dead mid-round; completed acks are kept
 					}
 					if u.Version != ProtocolVersion {
@@ -151,6 +275,12 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 					if u.Done {
 						if acked != len(idxs) {
 							setFatal(fmt.Errorf("transport: worker %d closed the round with %d of %d acks", slot, acked, len(idxs)))
+							return
+						}
+						// The stream completed: the worker processed the
+						// frame; mirror it into its base tracker.
+						if err := r.ackTracker(slot, f); err != nil {
+							setFatal(fmt.Errorf("transport: worker %d: %w", slot, err))
 						}
 						return
 					}
@@ -196,6 +326,15 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			}
 		}
 		if len(unfinished) == 0 {
+			endIn, endOut := r.coord.BytesTransferred()
+			rs.BroadcastBytes = endOut - startOut
+			rs.UploadBytes = endIn - startIn
+			r.tmu.Lock()
+			r.stats.add(rs)
+			r.tmu.Unlock()
+			if r.OnRound != nil {
+				r.OnRound(rs)
+			}
 			return results, nil
 		}
 		if !r.Requeue {

@@ -94,6 +94,12 @@ func runLocalAsync(t *testing.T, method string, family *data.Family, domains []s
 // wrap, when non-nil, layers another runner (e.g. fl.AsyncRunner) over the
 // transport runner.
 func runTCP(t *testing.T, method string, family *data.Family, domains []string, nWorkers int, wrap func(fl.Runner) fl.Runner) [][]float64 {
+	return runTCPCodec(t, method, family, domains, nWorkers, wrap, "")
+}
+
+// runTCPCodec is runTCP with an explicit broadcast codec ("" keeps the
+// Runner's default full snapshots).
+func runTCPCodec(t *testing.T, method string, family *data.Family, domains []string, nWorkers int, wrap func(fl.Runner) fl.Runner, codec string) [][]float64 {
 	t.Helper()
 	coord, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
@@ -117,6 +123,9 @@ func runTCP(t *testing.T, method string, family *data.Family, domains []string, 
 				workerErr[id] = err
 				return
 			}
+			// Pin the worker to the codec under test (the fedworker -codec
+			// guard): a frame from any other codec would fail the run.
+			ex.ExpectCodec = codec
 			w, err := transport.Dial(coord.Addr(), id)
 			if err != nil {
 				workerErr[id] = err
@@ -137,6 +146,11 @@ func runTCP(t *testing.T, method string, family *data.Family, domains []string, 
 	tr, err := transport.NewRunner(coord, alg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if codec != "" {
+		if err := tr.UseCodec(codec); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var runner fl.Runner = tr
 	if wrap != nil {
@@ -292,6 +306,72 @@ func TestShardSpecMaterializeMatchesPartition(t *testing.T) {
 			}
 			if !w.X.AllClose(g.X, 0) {
 				t.Fatalf("shard %d example %d: pixel data diverged", idx, i)
+			}
+		}
+	}
+}
+
+// TestCodecDeterminism is the delta-broadcast acceptance gate: with the
+// "delta" codec — per-key diffs against each worker's acked base version,
+// wire-state payload sent only when its bytes change — every method's
+// loopback-TCP accuracy matrix must equal the synchronous in-process
+// reference exactly (==). Combined with TestCrossRunnerDeterminism (full
+// codec == local), this proves codec full == codec delta for all six
+// methods: the delta path changes how bytes move, never what arrives.
+//
+// The async sub-test stacks the layers under churn: an fl.AsyncRunner with
+// staleness window 1 and deterministic stragglers over the TCP transport,
+// run once per codec. Lagging results make the matrices legitimately differ
+// from the synchronous run, but full vs delta must still agree bit for bit.
+func TestCodecDeterminism(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	methods := experiments.MethodFlags()
+	if testing.Short() {
+		methods = []string{"reffil", "lwf"}
+	}
+	for _, method := range methods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			local := localReference(t, method, family, domains)
+			delta := runTCPCodec(t, method, family, domains, 2, nil, "delta")
+			requireSameMatrix(t, "TCP(delta)", local, delta)
+		})
+	}
+
+	t.Run("async_S1_stragglers", func(t *testing.T) {
+		wrap := func(inner fl.Runner) fl.Runner {
+			return &fl.AsyncRunner{
+				Inner:     inner,
+				Staleness: 1,
+				Delay:     fl.StragglerDelay(crossRunnerConfig().Seed, 0.33, 1),
+			}
+		}
+		full := runTCPCodec(t, "lwf", family, domains, 2, wrap, "full")
+		delta := runTCPCodec(t, "lwf", family, domains, 2, wrap, "delta")
+		requireSameMatrix(t, "async delta vs async full", full, delta)
+	})
+}
+
+// TestTopKCodecRuns is the lossy codec's smoke gate: a full engine run over
+// TCP with the "topk" sparsifier completes and records sane accuracies. No
+// equality with the reference is asserted — dropping small-magnitude
+// changes is an approximation by design (bit-identity holds only for
+// lossless codecs).
+func TestTopKCodecRuns(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	mat := runTCPCodec(t, "finetune", family, domains, 2, nil, "topk")
+	for i := range mat {
+		for j := 0; j <= i; j++ {
+			if mat[i][j] < 0 || mat[i][j] > 1 {
+				t.Fatalf("accuracy [%d][%d] = %v outside [0,1]", i, j, mat[i][j])
 			}
 		}
 	}

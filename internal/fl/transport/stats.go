@@ -1,0 +1,60 @@
+package transport
+
+// Stats aggregates the Runner's wire accounting: the evidence that delta
+// broadcast actually saves bytes. Byte counts are raw TCP bytes measured at
+// the coordinator's sockets (gob framing, job specs and acks included), so
+// they reflect what a real network would carry, not just tensor payloads.
+// Cumulative totals are exact; the per-round split of UploadBytes can
+// shift by a few buffered bytes between runs (gob decoders read ahead of
+// the frame boundary), so compare upload numbers across rounds, not byte
+// for byte.
+type Stats struct {
+	// Rounds is how many round dispatches (Runner.Run calls) completed.
+	Rounds int64
+	// BroadcastBytes / UploadBytes are coordinator→worker and
+	// worker→coordinator TCP bytes.
+	BroadcastBytes int64
+	UploadBytes    int64
+	// FullFrames / DeltaFrames / IdleFrames count broadcast frames by state
+	// kind: complete snapshots, per-key diffs, and frames carrying no state
+	// at all (idle workers, and re-queued jobs on a worker already at the
+	// current version).
+	FullFrames  int64
+	DeltaFrames int64
+	IdleFrames  int64
+	// Fallbacks counts full snapshots a non-full codec was forced into
+	// because the target worker had no usable base version: fresh
+	// connections, and re-queued work on a survivor that never saw the
+	// state.
+	Fallbacks int64
+}
+
+// add accumulates one completed round.
+func (s *Stats) add(rs RoundStats) {
+	s.Rounds++
+	s.BroadcastBytes += rs.BroadcastBytes
+	s.UploadBytes += rs.UploadBytes
+	s.FullFrames += rs.FullFrames
+	s.DeltaFrames += rs.DeltaFrames
+	s.IdleFrames += rs.IdleFrames
+	s.Fallbacks += rs.Fallbacks
+}
+
+// RoundStats is one completed round dispatch's slice of the accounting,
+// delivered through Runner.OnRound.
+type RoundStats struct {
+	// Task and Round identify the dispatch.
+	Task, Round int
+	// Attempts is how many broadcast waves the round took (1 + re-queue
+	// attempts after worker deaths).
+	Attempts int
+	// BroadcastBytes / UploadBytes are this round's TCP bytes in each
+	// direction.
+	BroadcastBytes int64
+	UploadBytes    int64
+	// Frame counts by state kind, as in Stats.
+	FullFrames  int64
+	DeltaFrames int64
+	IdleFrames  int64
+	Fallbacks   int64
+}

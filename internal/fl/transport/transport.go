@@ -19,6 +19,14 @@
 // worker's unfinished jobs on the survivors (every job is a placement-free
 // deterministic computation, so re-execution elsewhere returns the exact
 // result the dead worker would have produced).
+//
+// Since protocol v4 the broadcast is delta-encoded: instead of the full
+// state dict plus the method's full wire state, each broadcast carries a
+// versioned wire.Frame — a codec-encoded state patch against the base
+// version the coordinator knows this worker holds, plus the wire-state
+// payload only when its bytes changed (see internal/fl/wire). Every
+// connection is byte-counted, so the Runner can prove the savings
+// (Stats/RoundStats).
 package transport
 
 import (
@@ -26,9 +34,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"reffil/internal/fl"
+	"reffil/internal/fl/wire"
 	"reffil/internal/tensor"
 )
 
@@ -40,7 +50,11 @@ import (
 // v3 replaced the one-update-per-round reply with per-job ack streaming
 // (each job's result is its own Update, closed by a Done frame), the
 // framing that makes survivor re-queue possible.
-const ProtocolVersion = 3
+//
+// v4 replaced the raw State/Payload broadcast fields with the versioned
+// delta frame of internal/fl/wire: per-worker base-version tracking,
+// pluggable codecs, and payload-on-change wire-state semantics.
+const ProtocolVersion = 4
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -85,11 +99,13 @@ type Broadcast struct {
 	// checked by workers.
 	Version     int
 	Task, Round int
-	State       map[string]WireTensor
-	// Payload carries the method's server-side wire state (fl.WireStater):
-	// LwF's distillation teacher, EWC's Fisher/anchor maps, RefFiL's
-	// clustered prompt bank and task counter.
-	Payload []byte
+	// Frame is the versioned state update: a codec-encoded patch against
+	// the base version this worker last acknowledged (or a full snapshot
+	// when it has none), plus the method's wire-state payload
+	// (fl.WireStater: LwF's distillation teacher, EWC's Fisher/anchor
+	// maps, RefFiL's clustered prompt bank) — included only when its bytes
+	// changed since this worker last loaded it.
+	Frame wire.Frame
 	// Jobs frames the local-training jobs assigned to this worker for the
 	// round: client id, group, round, and the domain/seed coordinates the
 	// worker derives its data shard from. Workers with no jobs reply with
@@ -140,6 +156,11 @@ type Coordinator struct {
 	ln      net.Listener
 	mu      sync.Mutex
 	workers []*wireConn
+	// bytesOut/bytesIn count the raw TCP bytes the coordinator has written
+	// to / read from workers across all connections — the ground truth the
+	// Runner's per-round byte accounting snapshots.
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
 }
 
 type wireConn struct {
@@ -147,6 +168,25 @@ type wireConn struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	dead bool
+}
+
+// countedConn wraps a worker connection so every byte moved in either
+// direction lands in the coordinator's counters.
+type countedConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // Listen starts a coordinator on addr (e.g. "127.0.0.1:0").
@@ -174,8 +214,9 @@ func (c *Coordinator) Accept(n int, timeout time.Duration) error {
 		if err != nil {
 			return fmt.Errorf("transport: accepting worker %d/%d: %w", i+1, n, err)
 		}
+		cc := countedConn{Conn: conn, in: &c.bytesIn, out: &c.bytesOut}
 		c.mu.Lock()
-		c.workers = append(c.workers, &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
+		c.workers = append(c.workers, &wireConn{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)})
 		c.mu.Unlock()
 	}
 	return nil
@@ -191,6 +232,12 @@ func (c *Coordinator) NumWorkers() int {
 // NumLive returns how many connected workers are still usable.
 func (c *Coordinator) NumLive() int {
 	return len(c.liveSlots())
+}
+
+// BytesTransferred reports the cumulative raw TCP bytes read from workers
+// (uploads) and written to them (broadcasts) since the coordinator started.
+func (c *Coordinator) BytesTransferred() (in, out int64) {
+	return c.bytesIn.Load(), c.bytesOut.Load()
 }
 
 // liveSlots returns the slot indices of workers not marked dead.

@@ -13,6 +13,7 @@ import (
 	"reffil/internal/autograd"
 	"reffil/internal/data"
 	"reffil/internal/fl"
+	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
 	"reffil/internal/tensor"
 )
@@ -61,7 +62,8 @@ func TestToWireCopiesData(t *testing.T) {
 // the algorithm's name; training happens in the tests' scripted worker
 // handlers, never through LocalTrain.
 type wireAlg struct {
-	w *autograd.Value
+	w      *autograd.Value
+	frozen *tensor.Tensor
 }
 
 func newWireAlg(v float64) *wireAlg {
@@ -70,11 +72,32 @@ func newWireAlg(v float64) *wireAlg {
 	return a
 }
 
-func (a *wireAlg) Name() string                       { return "wire" }
-func (a *wireAlg) Global() nn.Module                  { return a }
-func (a *wireAlg) Params() []nn.Param                 { return []nn.Param{{Name: "w", Value: a.w}} }
-func (a *wireAlg) Buffers() []nn.Buffer               { return nil }
-func (a *wireAlg) Spawn() (fl.Algorithm, error)       { return &wireAlg{w: a.w.CloneLeaf()}, nil }
+// withFrozenBuffer attaches a large constant buffer — the delta codec's
+// best case: it is broadcast once and never re-sent.
+func (a *wireAlg) withFrozenBuffer(n int) *wireAlg {
+	a.frozen = tensor.New(n)
+	for i := range a.frozen.Data() {
+		a.frozen.Data()[i] = float64(i)
+	}
+	return a
+}
+
+func (a *wireAlg) Name() string       { return "wire" }
+func (a *wireAlg) Global() nn.Module  { return a }
+func (a *wireAlg) Params() []nn.Param { return []nn.Param{{Name: "w", Value: a.w}} }
+func (a *wireAlg) Buffers() []nn.Buffer {
+	if a.frozen == nil {
+		return nil
+	}
+	return []nn.Buffer{{Name: "frozen", T: a.frozen}}
+}
+func (a *wireAlg) Spawn() (fl.Algorithm, error) {
+	rep := &wireAlg{w: a.w.CloneLeaf()}
+	if a.frozen != nil {
+		rep.frozen = a.frozen.Clone()
+	}
+	return rep, nil
+}
 func (a *wireAlg) OnTaskStart(int) error              { return nil }
 func (a *wireAlg) OnTaskEnd(int, *data.Dataset) error { return nil }
 func (a *wireAlg) LocalTrain(*fl.LocalContext) (fl.Upload, error) {
@@ -95,15 +118,28 @@ func wireJobs(clients ...int) []fl.Job {
 	return jobs
 }
 
+// cloneDict deep-copies a state dict (tracker dicts share tensors across
+// versions, so handlers must copy before perturbing).
+func cloneDict(d map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(d))
+	for k, v := range d {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
 // perturbHandler returns a streaming handler that "trains" each assigned
-// job by adding delta(clientID) to every broadcast weight and acks it.
+// job by adding delta(clientID) to every broadcast weight and acks it. It
+// maintains the worker-side frame tracker, so it works under every codec
+// (full snapshots, per-key deltas, idle frames).
 func perturbHandler(delta func(id int) float64) func(Broadcast, func(JobResult) error) error {
+	var tr wire.Tracker
 	return func(b Broadcast, emit func(JobResult) error) error {
+		if _, _, _, err := tr.Apply(&b.Frame); err != nil {
+			return err
+		}
 		for k, spec := range b.Jobs {
-			state, err := FromWire(b.State)
-			if err != nil {
-				return err
-			}
+			state := cloneDict(tr.Dict)
 			for _, v := range state {
 				d := v.Data()
 				for j := range d {
@@ -151,10 +187,9 @@ func TestRunnerStreamsPerJobAcks(t *testing.T) {
 	}
 	defer coord.Close()
 
-	handler := perturbHandler(func(id int) float64 { return float64(id) })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(handler) },
-		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
 	)
 
 	alg := newWireAlg(100)
@@ -190,10 +225,9 @@ func TestRunnerIdleWorkerStaysInLockstep(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	handler := perturbHandler(func(id int) float64 { return 1 })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(handler) },
-		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return 1 })) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return 1 })) },
 	)
 	r, err := NewRunner(coord, newWireAlg(0))
 	if err != nil {
@@ -252,10 +286,11 @@ func TestRunnerRequeuesDeadWorkerJobs(t *testing.T) {
 	}
 	defer coord.Close()
 
-	handler := perturbHandler(func(id int) float64 { return float64(id) })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
-		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error {
+			return w.Serve(killAfterFirstAck(w, perturbHandler(func(id int) float64 { return float64(id) })))
+		},
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
 	)
 
 	r, err := NewRunner(coord, newWireAlg(100))
@@ -311,10 +346,11 @@ func TestRunnerFailsFastWithoutRequeue(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	handler := perturbHandler(func(id int) float64 { return float64(id) })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
-		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error {
+			return w.Serve(killAfterFirstAck(w, perturbHandler(func(id int) float64 { return float64(id) })))
+		},
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
 	)
 	r, err := NewRunner(coord, newWireAlg(0))
 	if err != nil {
@@ -341,9 +377,10 @@ func TestRunnerFailsWhenAllWorkersDie(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	handler := perturbHandler(func(id int) float64 { return float64(id) })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(killAfterFirstAck(w, handler)) },
+		func(w *Worker) error {
+			return w.Serve(killAfterFirstAck(w, perturbHandler(func(id int) float64 { return float64(id) })))
+		},
 	)
 	r, err := NewRunner(coord, newWireAlg(0))
 	if err != nil {
@@ -355,17 +392,33 @@ func TestRunnerFailsWhenAllWorkersDie(t *testing.T) {
 	<-done[0]
 }
 
-// TestBroadcastRoundTrip pins the v3 wire framing: a Broadcast carrying
-// per-client job specs and method payload, and the per-job ack plus Done
-// updates, must gob round-trip without loss.
+// TestBroadcastRoundTrip pins the v4 wire framing: a Broadcast carrying a
+// versioned delta frame (dense and sparse patch parts, payload bytes) and
+// per-client job specs, and the per-job ack plus Done updates, must gob
+// round-trip without loss.
 func TestBroadcastRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
+	dense, err := wire.Delta{}.Encode(nil, map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := Broadcast{
 		Version: ProtocolVersion,
 		Task:    1,
 		Round:   4,
-		State:   ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
-		Payload: []byte{9, 8, 7},
+		Frame: wire.Frame{
+			Kind:        wire.KindDelta,
+			BaseVersion: 3,
+			Version:     4,
+			Patch: wire.Patch{
+				Codec:  wire.CodecTopK,
+				Dense:  dense.Dense,
+				Sparse: []wire.SparseEntry{{Key: "b", Idx: []int64{0, 5}, Val: []float64{1.5, -2.5}}},
+			},
+			PayloadVersion: 2,
+			HasPayload:     true,
+			Payload:        []byte{9, 8, 7},
+		},
 		Jobs: []fl.JobSpec{{
 			ClientID:   5,
 			Task:       1,
@@ -551,9 +604,8 @@ func TestMultiRoundFederation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	handler := perturbHandler(func(id int) float64 { return 1 })
 	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(handler) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return 1 })) },
 	)
 	alg := newWireAlg(0)
 	r, err := NewRunner(coord, alg)
@@ -577,5 +629,169 @@ func TestMultiRoundFederation(t *testing.T) {
 	}
 	if err := <-done[0]; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunnerDeltaStats drives the byte accounting end to end: an algorithm
+// whose state is one trainable scalar plus a large frozen buffer runs two
+// rounds under the delta codec. Round one must ship full snapshots (fresh
+// workers — counted as fallbacks), round two per-key deltas that skip the
+// frozen buffer entirely, with the measured TCP bytes collapsing
+// accordingly.
+func TestRunnerDeltaStats(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
+		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
+	)
+
+	const frozenElems = 1 << 12
+	alg := newWireAlg(100).withFrozenBuffer(frozenElems)
+	r, err := NewRunner(coord, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UseCodec("delta"); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []RoundStats
+	r.OnRound = func(rs RoundStats) { rounds = append(rounds, rs) }
+
+	if _, err := r.Run(wireJobs(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(wireJobs(1)); err != nil { // switching codec mid-run must be rejected
+		t.Fatal(err)
+	}
+	if err := r.UseCodec("full"); err == nil {
+		t.Fatal("switching codec after the first round must error")
+	}
+	// Round 3: only the scalar changed since round 2 — the delta must skip
+	// the frozen buffer.
+	alg.w.T.Data()[0] = 42
+	if _, err := r.Run(wireJobs(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rounds) != 3 {
+		t.Fatalf("OnRound fired %d times, want 3", len(rounds))
+	}
+	first, third := rounds[0], rounds[2]
+	if first.FullFrames != 2 || first.Fallbacks != 2 || first.DeltaFrames != 0 {
+		t.Fatalf("round 1 frames: %+v, want 2 full-snapshot fallbacks", first)
+	}
+	if third.DeltaFrames != 2 || third.FullFrames != 0 {
+		t.Fatalf("round 3 frames: %+v, want 2 delta frames", third)
+	}
+	// The frozen buffer is ~32 KiB per full snapshot; a scalar delta is a
+	// few hundred bytes. Demand an order of magnitude, not an exact count.
+	if third.BroadcastBytes*10 >= first.BroadcastBytes {
+		t.Fatalf("delta round broadcast %d bytes vs full round %d — deltas saved nothing",
+			third.BroadcastBytes, first.BroadcastBytes)
+	}
+	stats := r.Stats()
+	if stats.Rounds != 3 || stats.FullFrames != 2 || stats.DeltaFrames < 3 {
+		t.Fatalf("cumulative stats: %+v", stats)
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range done {
+		if err := <-ch; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestRequeueFullSnapshotForBaselessSurvivor pins the re-queue/delta
+// interaction: jobs re-queued onto a survivor that never saw any state
+// version (it was idle when the round's delta broadcast went out) must
+// arrive with a full snapshot, not a diff against a base it does not hold.
+// Workers 0 and 1 die on receiving their state broadcast; idle worker 2
+// inherits both jobs and must observe frame kinds [none, full].
+func TestRequeueFullSnapshotForBaselessSurvivor(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// killOnState closes the connection as soon as a broadcast carries
+	// state, before acking anything.
+	killOnState := func(w *Worker) func(Broadcast, func(JobResult) error) error {
+		return func(b Broadcast, emit func(JobResult) error) error {
+			if err := w.Close(); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	kinds := make(chan wire.Kind, 8)
+	recording := func(inner func(Broadcast, func(JobResult) error) error) func(Broadcast, func(JobResult) error) error {
+		return func(b Broadcast, emit func(JobResult) error) error {
+			kinds <- b.Frame.Kind
+			return inner(b, emit)
+		}
+	}
+	var survivorHandler func(*Worker) error
+	survivorHandler = func(w *Worker) error {
+		return w.Serve(recording(perturbHandler(func(id int) float64 { return float64(id) })))
+	}
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(killOnState(w)) },
+		func(w *Worker) error { return w.Serve(killOnState(w)) },
+		survivorHandler,
+	)
+
+	r, err := NewRunner(coord, newWireAlg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UseCodec("delta"); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []RoundStats
+	r.OnRound = func(rs RoundStats) { rounds = append(rounds, rs) }
+
+	// Two jobs over three workers: slots 0 and 1 get one each, slot 2 idles.
+	results, err := r.Run(wireJobs(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{101, 102} {
+		if got := results[i].Dict["w"].At(0); got != want {
+			t.Fatalf("job %d result = %v, want %v", i, got, want)
+		}
+	}
+	if got := coord.NumLive(); got != 1 {
+		t.Fatalf("live workers = %d, want 1", got)
+	}
+	if len(rounds) != 1 || rounds[0].Attempts != 2 {
+		t.Fatalf("round stats %+v, want one round with 2 attempts", rounds)
+	}
+	// Attempt 1: full to slots 0 and 1, none to idle slot 2. Attempt 2: a
+	// full-snapshot fallback to slot 2, which has no base.
+	if rounds[0].FullFrames != 3 || rounds[0].IdleFrames != 1 || rounds[0].Fallbacks != 3 {
+		t.Fatalf("frame counts %+v, want 3 full (all fallbacks) and 1 idle", rounds[0])
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	<-done[0]
+	<-done[1]
+	if err := <-done[2]; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	close(kinds)
+	var got []wire.Kind
+	for k := range kinds {
+		got = append(got, k)
+	}
+	if len(got) != 2 || got[0] != wire.KindNone || got[1] != wire.KindFull {
+		t.Fatalf("survivor observed frame kinds %v, want [none full]", got)
 	}
 }

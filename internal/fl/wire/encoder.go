@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"reffil/internal/tensor"
+)
+
+// Encoder is the coordinator-side frame builder: it holds the current
+// round's canonical state dict and wire-state payload under monotone
+// versions, and builds one Frame per worker against whatever base version
+// that worker's Tracker holds.
+//
+// Versioning: the state version advances on every SetRound (aggregation
+// changes the global every round); the payload version advances only when
+// the payload bytes differ from the previous round's — which is what stops
+// LwF's teacher (a full model) from crossing the wire more than once per
+// task.
+//
+// The full codec is special-cased to reproduce the legacy wire behavior
+// exactly: every targeted worker receives the complete state and the
+// complete payload every round, idle or not — the baseline the byte
+// accounting measures delta codecs against.
+type Encoder struct {
+	codec Codec
+
+	mu             sync.Mutex
+	version        uint64
+	dict           map[string]*tensor.Tensor
+	payloadVersion uint64
+	payload        []byte
+	// patches caches this round's encoded patches by base version. Shared
+	// across workers only where identical versions imply identical dicts:
+	// always for the base-independent full snapshot (key 0), and for deltas
+	// only under a lossless codec (under a lossy codec two workers at the
+	// same version can hold different states).
+	patches map[uint64]*Patch
+}
+
+// NewEncoder builds an encoder over the given codec.
+func NewEncoder(codec Codec) (*Encoder, error) {
+	if codec == nil {
+		return nil, fmt.Errorf("wire: encoder needs a codec")
+	}
+	return &Encoder{codec: codec}, nil
+}
+
+// Codec returns the encoder's codec.
+func (e *Encoder) Codec() Codec { return e.codec }
+
+// SetRound installs the round's canonical state dict and encoded wire-state
+// payload, advancing the state version (and the payload version iff the
+// payload bytes changed). The encoder takes ownership of dict: the caller
+// must pass a fresh copy (nn.StateDict already clones) and never mutate it.
+func (e *Encoder) SetRound(dict map[string]*tensor.Tensor, payload []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.version++
+	e.dict = dict
+	if !bytes.Equal(payload, e.payload) {
+		e.payloadVersion++
+		e.payload = payload
+	}
+	e.patches = make(map[uint64]*Patch)
+}
+
+// Version returns the current state version.
+func (e *Encoder) Version() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.version
+}
+
+// PayloadVersion returns the current payload version.
+func (e *Encoder) PayloadVersion() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.payloadVersion
+}
+
+// FrameFor builds the frame for a worker whose receive state is t. active
+// says whether the worker has jobs in this broadcast: inactive workers get
+// a bare KindNone frame (no state, no payload — their versions simply lag),
+// active ones get whatever it takes to bring them to the current versions.
+func (e *Encoder) FrameFor(t *Tracker, active bool) (*Frame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dict == nil {
+		return nil, fmt.Errorf("wire: FrameFor before SetRound")
+	}
+	f := &Frame{Kind: KindNone, Version: t.Version, PayloadVersion: t.PayloadVersion}
+	if e.codec.Name() == CodecFull {
+		// Legacy framing: complete state + payload on every broadcast.
+		p, err := e.patchFor(0, nil)
+		if err != nil {
+			return nil, err
+		}
+		f.Kind, f.Patch, f.Version = KindFull, *p, e.version
+		f.HasPayload, f.Payload, f.PayloadVersion = true, e.payload, e.payloadVersion
+		return f, nil
+	}
+	if !active {
+		return f, nil
+	}
+	if t.Version != e.version {
+		base, baseV := t.Dict, t.Version
+		if base == nil {
+			baseV = 0
+		}
+		p, err := e.patchFor(baseV, base)
+		if err != nil {
+			return nil, err
+		}
+		f.Patch, f.Version = *p, e.version
+		if p.Full {
+			f.Kind, f.BaseVersion = KindFull, 0
+		} else {
+			f.Kind, f.BaseVersion = KindDelta, baseV
+		}
+	}
+	if t.PayloadVersion != e.payloadVersion {
+		f.HasPayload, f.Payload, f.PayloadVersion = true, e.payload, e.payloadVersion
+	}
+	return f, nil
+}
+
+// patchFor encodes (and, where versions imply identical bases, caches) the
+// patch from the given base up to the current state. Called with e.mu held.
+func (e *Encoder) patchFor(baseV uint64, base map[string]*tensor.Tensor) (*Patch, error) {
+	cacheable := baseV == 0 || e.codec.Lossless()
+	if cacheable {
+		if p, ok := e.patches[baseV]; ok {
+			return p, nil
+		}
+	}
+	p, err := e.codec.Encode(base, e.dict)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		e.patches[baseV] = p
+	}
+	return p, nil
+}
+
+// Ack advances the coordinator-side tracker for a worker that confirmed
+// processing f (its round stream completed) — the coordinator-end mirror of
+// the worker's Tracker.Apply, with the same version-mismatch rejection. For
+// lossless codecs at the current version the decode is skipped and the
+// tracker shares the canonical dict; lossy codecs replay the exact patch so
+// the mirror matches what the worker actually reconstructed.
+func (e *Encoder) Ack(t *Tracker, f *Frame) error {
+	e.mu.Lock()
+	lossless := e.codec.Lossless()
+	dict, version := e.dict, e.version
+	e.mu.Unlock()
+	if f.Kind != KindNone && lossless && f.Version == version {
+		// Validate exactly as Apply would, then shortcut the decode.
+		if err := t.Validate(f); err != nil {
+			return err
+		}
+		t.Dict, t.Version = dict, f.Version
+		if f.HasPayload {
+			t.PayloadVersion = f.PayloadVersion
+		}
+		return nil
+	}
+	_, _, _, err := t.Apply(f)
+	return err
+}

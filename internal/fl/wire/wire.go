@@ -1,0 +1,267 @@
+// Package wire is the delta-broadcast encoding subsystem that sits between
+// the engine/Runner layer and the transport: instead of rebroadcasting the
+// full global state dict plus the method's full wire state every round, the
+// coordinator tracks what base version each live worker last acknowledged
+// and ships per-key state-dict diffs against it, falling back to a full
+// snapshot for workers with no usable base (fresh connections, re-queued
+// work on a worker that never saw the state, post-crash hygiene).
+//
+// The package has three moving parts:
+//
+//   - Codec (codec.go): the pluggable patch encoder. Full reproduces the
+//     legacy every-round snapshot, Delta ships only the keys whose bits
+//     changed (dense per-key payload in the checkpoint format), and
+//     DeltaTopK additionally sparsifies each changed key to its
+//     largest-magnitude element changes.
+//   - Frame/Patch/Tracker (this file): the versioned wire framing and the
+//     receiver-side state machine. Both ends run the same Tracker logic —
+//     the worker applies frames as they arrive, the coordinator mirrors the
+//     application when the worker's round stream completes — so version
+//     mismatches are rejected symmetrically instead of silently diverging.
+//   - Encoder (encoder.go): the coordinator-side frame builder. It versions
+//     the round state and the method wire-state payload separately, so
+//     payloads that only change at task boundaries (LwF's distillation
+//     teacher, EWC's Fisher/anchor maps) are re-sent only when their bytes
+//     actually change rather than every round.
+//
+// State versions advance once per round; a worker at version v receiving a
+// delta frame with BaseVersion v applies it and lands on the frame's
+// Version. Payload versions advance only when the encoded wire-state bytes
+// differ from the previous round's. Idle workers (no jobs in a broadcast)
+// receive KindNone frames carrying no state at all; their version simply
+// lags until they next receive work, at which point the encoder diffs
+// against their actual base — or sends a full snapshot if they never had
+// one.
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"reffil/internal/checkpoint"
+	"reffil/internal/tensor"
+)
+
+// Patch is one codec-encoded state update: the wire form of "what changed
+// between a base state dict and the next one". A patch is self-describing —
+// Decode needs only the patch and the receiver's base dict, not the codec
+// that produced it.
+type Patch struct {
+	// Codec names the codec that produced the patch (a registry name, see
+	// Names), recorded so receivers can pin the codec they accept.
+	Codec string
+	// Full marks a base-independent snapshot: Dense carries every key and
+	// the receiver's base (if any) is ignored.
+	Full bool
+	// Dense holds complete tensors for changed keys — or all keys when Full
+	// — serialized in the checkpoint binary format (sorted keys, validated
+	// sizes on load).
+	Dense []byte
+	// Sparse carries per-key scatter updates (DeltaTopK): flat element
+	// positions and their new values. A key never appears in both Dense and
+	// Sparse.
+	Sparse []SparseEntry
+}
+
+// SparseEntry is one key's sparse update: set Val[i] at flat position
+// Idx[i] of the base tensor, leaving every other element unchanged.
+type SparseEntry struct {
+	Key string
+	Idx []int64
+	Val []float64
+}
+
+// Kind classifies a frame's state payload.
+type Kind uint8
+
+const (
+	// KindNone carries no state update: the receiver must already hold the
+	// frame's Version (idle workers, and re-queued jobs on a worker that
+	// already applied this round's broadcast).
+	KindNone Kind = iota
+	// KindFull installs a base-independent snapshot at Version.
+	KindFull
+	// KindDelta patches the receiver's BaseVersion state up to Version.
+	KindDelta
+)
+
+// String renders the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one worker's per-broadcast state update: an optional state patch
+// plus an optional method wire-state payload, each independently versioned.
+type Frame struct {
+	// Kind says whether Patch carries a snapshot, a diff, or nothing.
+	Kind Kind
+	// BaseVersion is the state version a KindDelta patch applies to; the
+	// receiver must be exactly there. Zero for KindFull and KindNone.
+	BaseVersion uint64
+	// Version is the state version the receiver holds after applying the
+	// frame. For KindNone it echoes the version the receiver is expected to
+	// already hold (a cheap drift check).
+	Version uint64
+	// Patch is the codec-encoded state update; zero when Kind is KindNone.
+	Patch Patch
+	// PayloadVersion versions the method wire-state payload. When
+	// HasPayload is false it echoes the receiver's expected current payload
+	// version.
+	PayloadVersion uint64
+	// HasPayload marks that Payload carries the method wire state the
+	// receiver should load (its payload version differed from the
+	// coordinator's).
+	HasPayload bool
+	// Payload is the fl.WireStater-encoded method state (opaque bytes).
+	Payload []byte
+}
+
+// Tracker is the receiver-side state machine for one peer: the state
+// version and dict it currently holds, plus its payload version. The worker
+// runs one Tracker per connection; the coordinator mirrors one per worker
+// so it always knows which base each worker holds.
+//
+// Dict tensors are shared across versions for unchanged keys — treat every
+// tensor reachable from Dict as immutable.
+type Tracker struct {
+	// Version is the state version currently held (0 = no state yet).
+	Version uint64
+	// Dict is the held state; nil until the first full frame applies.
+	Dict map[string]*tensor.Tensor
+	// PayloadVersion is the wire-state payload version currently loaded.
+	PayloadVersion uint64
+}
+
+// Apply validates f against the tracker's versions and advances it,
+// returning whether the frame carried a state update, the wire-state
+// payload to load (nil unless payloadChanged), and whether it did. Any
+// version mismatch — a no-op frame for a version the tracker does not
+// hold, a delta against a different base, or a silent payload skew — is
+// rejected before the tracker mutates.
+func (t *Tracker) Apply(f *Frame) (stateChanged bool, payload []byte, payloadChanged bool, err error) {
+	// Validate everything before mutating anything.
+	if err := t.Validate(f); err != nil {
+		return false, nil, false, err
+	}
+
+	if f.Kind != KindNone {
+		dict, err := Decode(t.Dict, &f.Patch)
+		if err != nil {
+			return false, nil, false, err
+		}
+		t.Dict = dict
+		t.Version = f.Version
+		stateChanged = true
+	}
+	if f.HasPayload {
+		t.PayloadVersion = f.PayloadVersion
+		payload = f.Payload
+		payloadChanged = true
+	}
+	return stateChanged, payload, payloadChanged, nil
+}
+
+// Validate checks f against the tracker's versions without mutating
+// anything. It is the single source of the frame invariants: Apply runs it
+// before applying, and the coordinator's Encoder.Ack mirror runs exactly
+// the same checks before its lossless shortcut — tightening an invariant
+// here tightens both ends of the connection at once.
+func (t *Tracker) Validate(f *Frame) error {
+	switch f.Kind {
+	case KindNone:
+		if f.Version != t.Version {
+			return fmt.Errorf("wire: no-op frame expects version %d, receiver holds %d", f.Version, t.Version)
+		}
+	case KindFull:
+		if !f.Patch.Full {
+			return fmt.Errorf("wire: full frame carries a non-full patch")
+		}
+	case KindDelta:
+		if f.Patch.Full {
+			return fmt.Errorf("wire: delta frame carries a full patch")
+		}
+		if t.Dict == nil {
+			return fmt.Errorf("wire: delta frame against version %d but receiver holds no state", f.BaseVersion)
+		}
+		if f.BaseVersion != t.Version {
+			return fmt.Errorf("wire: delta against base version %d, receiver holds %d", f.BaseVersion, t.Version)
+		}
+	default:
+		return fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	if !f.HasPayload && f.PayloadVersion != t.PayloadVersion {
+		return fmt.Errorf("wire: frame expects payload version %d, receiver holds %d", f.PayloadVersion, t.PayloadVersion)
+	}
+	return nil
+}
+
+// Decode applies a patch to a base state dict and returns the resulting
+// dict. Full patches ignore base (which may be nil); delta patches require
+// one and share its tensors for unchanged keys, so the result must be
+// treated as immutable alongside the base. Decode is codec-agnostic: a
+// patch is self-describing.
+func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor, error) {
+	if p.Full {
+		if len(p.Sparse) > 0 {
+			return nil, fmt.Errorf("wire: full patch carries %d sparse entries", len(p.Sparse))
+		}
+		return checkpoint.Load(bytes.NewReader(p.Dense))
+	}
+	if base == nil {
+		return nil, fmt.Errorf("wire: delta patch without a base state")
+	}
+	out := make(map[string]*tensor.Tensor, len(base))
+	for k, v := range base {
+		out[k] = v
+	}
+	patched := make(map[string]bool, len(p.Sparse))
+	if len(p.Dense) > 0 {
+		over, err := checkpoint.Load(bytes.NewReader(p.Dense))
+		if err != nil {
+			return nil, fmt.Errorf("wire: dense overlay: %w", err)
+		}
+		for k, v := range over {
+			bt, ok := base[k]
+			if !ok {
+				return nil, fmt.Errorf("wire: patch updates unknown key %q", k)
+			}
+			if v.Size() != bt.Size() {
+				return nil, fmt.Errorf("wire: patch entry %q has %d elements, base holds %d", k, v.Size(), bt.Size())
+			}
+			out[k] = v
+			patched[k] = true
+		}
+	}
+	for _, se := range p.Sparse {
+		bt, ok := base[se.Key]
+		if !ok {
+			return nil, fmt.Errorf("wire: sparse patch updates unknown key %q", se.Key)
+		}
+		if patched[se.Key] {
+			return nil, fmt.Errorf("wire: key %q appears in both dense and sparse parts", se.Key)
+		}
+		patched[se.Key] = true
+		if len(se.Idx) != len(se.Val) {
+			return nil, fmt.Errorf("wire: sparse entry %q has %d indices for %d values", se.Key, len(se.Idx), len(se.Val))
+		}
+		nt := bt.Clone()
+		d := nt.Data()
+		for i, ix := range se.Idx {
+			if ix < 0 || int(ix) >= len(d) {
+				return nil, fmt.Errorf("wire: sparse entry %q index %d outside %d elements", se.Key, ix, len(d))
+			}
+			d[ix] = se.Val[i]
+		}
+		out[se.Key] = nt
+	}
+	return out, nil
+}

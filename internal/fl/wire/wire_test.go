@@ -1,0 +1,389 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"reffil/internal/tensor"
+)
+
+// randDict builds a random state dict with a few differently shaped keys.
+func randDict(rng *rand.Rand) map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{
+		"conv.w": tensor.RandN(rng, 1, 4, 3, 3),
+		"lin.w":  tensor.RandN(rng, 1, 8, 16),
+		"lin.b":  tensor.RandN(rng, 1, 16),
+		"scalar": tensor.Scalar(rng.NormFloat64()),
+	}
+}
+
+// cloneDict deep-copies a state dict.
+func cloneDict(d map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(d))
+	for k, v := range d {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// mutate flips a fraction of the elements of the named keys.
+func mutate(rng *rand.Rand, d map[string]*tensor.Tensor, frac float64, keys ...string) {
+	for _, k := range keys {
+		data := d[k].Data()
+		for i := range data {
+			if rng.Float64() < frac {
+				data[i] += rng.NormFloat64()
+			}
+		}
+	}
+}
+
+// requireSameDict asserts bitwise equality of two dicts.
+func requireSameDict(t *testing.T, label string, want, got map[string]*tensor.Tensor) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: dict has %d keys, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: missing key %q", label, k)
+		}
+		wd, gd := w.Data(), g.Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("%s: key %q has %d elements, want %d", label, k, len(gd), len(wd))
+		}
+		for i := range wd {
+			if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+				t.Fatalf("%s: key %q diverged at element %d: %v vs %v", label, k, i, gd[i], wd[i])
+			}
+		}
+	}
+}
+
+// gobCycle round-trips a patch through gob, as the transport does.
+func gobCycle(t *testing.T, p *Patch) *Patch {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	var out Patch
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestCodecRoundTrip is the codec property test: for every lossless codec
+// (full, delta, and topk at ratio 1) and a spread of random (base, next)
+// pairs — identical dicts (the empty diff), every key changed, a sparse
+// scatter of changed elements, and no base at all — Decode(base,
+// Encode(base, next)) must reproduce next bit for bit, including across a
+// gob cycle of the patch.
+func TestCodecRoundTrip(t *testing.T) {
+	codecs := []Codec{Full{}, Delta{}, DeltaTopK{Ratio: 1}}
+	for _, c := range codecs {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if !c.Lossless() {
+				t.Fatalf("codec %s must be lossless in this configuration", c.Name())
+			}
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 20; trial++ {
+				base := randDict(rng)
+				next := cloneDict(base)
+				switch trial % 4 {
+				case 0:
+					// empty diff: next == base
+				case 1:
+					mutate(rng, next, 1, "conv.w", "lin.w", "lin.b", "scalar")
+				case 2:
+					mutate(rng, next, 0.2, "lin.w")
+				case 3:
+					base = nil // no base: must fall back to a full snapshot
+				}
+				p, err := c.Encode(base, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base == nil && !p.Full {
+					t.Fatalf("%s: encoding without a base must produce a full patch", c.Name())
+				}
+				got, err := c.Decode(base, gobCycle(t, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameDict(t, c.Name(), next, got)
+			}
+		})
+	}
+}
+
+// TestDeltaEmptyDiffIsTiny pins the point of the delta codec: an unchanged
+// state encodes to a patch orders of magnitude smaller than the snapshot.
+func TestDeltaEmptyDiffIsTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := randDict(rng)
+	full, err := Full{}.Encode(nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := Delta{}.Encode(base, cloneDict(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Dense) >= len(full.Dense)/10 {
+		t.Fatalf("empty diff encodes to %d bytes, full snapshot %d — no saving", len(empty.Dense), len(full.Dense))
+	}
+}
+
+// TestDeltaSharesUnchangedTensors pins the decode memory contract: keys the
+// patch does not touch are shared with the base, not copied.
+func TestDeltaSharesUnchangedTensors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := randDict(rng)
+	next := cloneDict(base)
+	mutate(rng, next, 1, "lin.b")
+	p, err := Delta{}.Encode(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["conv.w"] != base["conv.w"] {
+		t.Fatal("unchanged key must share the base tensor")
+	}
+	if got["lin.b"] == base["lin.b"] {
+		t.Fatal("changed key must not alias the base tensor")
+	}
+}
+
+// TestTopKKeepsLargestChanges drives the sparsifier below ratio 1: only the
+// largest-magnitude changes survive, everything else stays at the base
+// value, and the kept positions match next exactly.
+func TestTopKKeepsLargestChanges(t *testing.T) {
+	base := map[string]*tensor.Tensor{"w": tensor.New(10)}
+	next := map[string]*tensor.Tensor{"w": tensor.New(10)}
+	nd := next["w"].Data()
+	// Changes of magnitude 1..10 at positions 0..9.
+	for i := range nd {
+		nd[i] = float64(i + 1)
+	}
+	c := DeltaTopK{Ratio: 0.3} // keep ceil(0.3*10) = 3 largest changes
+	p, err := c.Encode(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sparse) != 1 {
+		t.Fatalf("expected one sparse entry, got %+v", p)
+	}
+	se := p.Sparse[0]
+	if len(se.Idx) != 3 {
+		t.Fatalf("kept %d elements, want 3", len(se.Idx))
+	}
+	for i, want := range []int64{7, 8, 9} {
+		if se.Idx[i] != want {
+			t.Fatalf("kept positions %v, want [7 8 9]", se.Idx)
+		}
+	}
+	got, err := c.Decode(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := got["w"].Data()
+	for i := 0; i < 7; i++ {
+		if gd[i] != 0 {
+			t.Fatalf("position %d should keep the base value, got %v", i, gd[i])
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if gd[i] != float64(i+1) {
+			t.Fatalf("kept position %d = %v, want %v", i, gd[i], float64(i+1))
+		}
+	}
+}
+
+// TestTopKDenseFallbackPerKey: when sparse pairs would cost at least the
+// dense tensor (≥ half the elements kept), the key ships densely.
+func TestTopKDenseFallbackPerKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 4)}
+	next := map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 4)}
+	p, err := DeltaTopK{Ratio: 1}.Encode(base, next) // all 4 elements changed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sparse) != 0 {
+		t.Fatalf("fully changed tiny key must ship densely, got sparse %+v", p.Sparse)
+	}
+	got, err := Decode(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDict(t, "dense fallback", next, got)
+}
+
+// TestDecodeRejectsCorruptPatches covers the decode-side validation edges.
+func TestDecodeRejectsCorruptPatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := randDict(rng)
+	if _, err := Decode(nil, &Patch{Codec: CodecDelta}); err == nil {
+		t.Fatal("delta patch without base must error")
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "nope", Idx: []int64{0}, Val: []float64{1}}}}); err == nil {
+		t.Fatal("sparse update of unknown key must error")
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "lin.b", Idx: []int64{99}, Val: []float64{1}}}}); err == nil {
+		t.Fatal("out-of-range sparse index must error")
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "lin.b", Idx: []int64{0, 1}, Val: []float64{1}}}}); err == nil {
+		t.Fatal("index/value length mismatch must error")
+	}
+}
+
+// TestTrackerVersionMismatch drives the receiver state machine through the
+// version-mismatch rejections: a delta against the wrong base, a delta with
+// no base at all, a no-op frame for a version the receiver does not hold,
+// and a silently skewed payload version. The same Apply logic runs on both
+// ends of the connection (the Encoder.Ack mirror delegates to it), so these
+// rejections hold symmetrically.
+func TestTrackerVersionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dict := randDict(rng)
+	full, err := Full{}.Encode(nil, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tr Tracker
+	if _, _, _, err := tr.Apply(&Frame{Kind: KindDelta, BaseVersion: 1, Version: 2, Patch: Patch{Codec: CodecDelta}}); err == nil || !strings.Contains(err.Error(), "no state") {
+		t.Fatalf("delta with no base: %v", err)
+	}
+	if _, _, _, err := tr.Apply(&Frame{Kind: KindNone, Version: 3}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("no-op frame for unheld version: %v", err)
+	}
+	if _, _, _, err := tr.Apply(&Frame{Kind: KindFull, Version: 1, Patch: *full}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != 1 || tr.Dict == nil {
+		t.Fatalf("tracker after full frame: %+v", tr.Version)
+	}
+	if _, _, _, err := tr.Apply(&Frame{Kind: KindDelta, BaseVersion: 5, Version: 6, Patch: Patch{Codec: CodecDelta}}); err == nil || !strings.Contains(err.Error(), "base version") {
+		t.Fatalf("delta against wrong base: %v", err)
+	}
+	if _, _, _, err := tr.Apply(&Frame{Kind: KindNone, Version: 1, PayloadVersion: 9}); err == nil || !strings.Contains(err.Error(), "payload version") {
+		t.Fatalf("payload version skew: %v", err)
+	}
+	// Mismatches must not have advanced anything.
+	if tr.Version != 1 || tr.PayloadVersion != 0 {
+		t.Fatalf("rejected frames mutated the tracker: %+v", tr)
+	}
+}
+
+// TestEncoderVersionsAndPayloadSkipping drives a coordinator/worker pair
+// through three rounds: the payload is re-sent only when its bytes change,
+// deltas chain across rounds, and Encoder.Ack keeps the coordinator's
+// mirror tracker in lockstep with the worker's.
+func TestEncoderVersionsAndPayloadSkipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	enc, err := NewEncoder(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordView := &Tracker{} // coordinator's mirror of the worker
+	var workerView Tracker  // the worker's own tracker
+
+	state := randDict(rng)
+	payload := []byte("teacher-v1")
+	for round := 0; round < 3; round++ {
+		if round == 2 {
+			payload = []byte("teacher-v2") // task boundary: payload changes
+		}
+		enc.SetRound(cloneDict(state), payload)
+		f, err := enc.FrameFor(coordView, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch round {
+		case 0:
+			if f.Kind != KindFull || !f.HasPayload {
+				t.Fatalf("round 0 frame: kind %v hasPayload %v, want full frame with payload", f.Kind, f.HasPayload)
+			}
+		case 1:
+			if f.Kind != KindDelta || f.HasPayload {
+				t.Fatalf("round 1 frame: kind %v hasPayload %v, want delta without payload", f.Kind, f.HasPayload)
+			}
+		case 2:
+			if f.Kind != KindDelta || !f.HasPayload || !bytes.Equal(f.Payload, []byte("teacher-v2")) {
+				t.Fatalf("round 2 frame: kind %v hasPayload %v, want delta with the new payload", f.Kind, f.HasPayload)
+			}
+		}
+		if _, _, _, err := workerView.Apply(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Ack(coordView, f); err != nil {
+			t.Fatal(err)
+		}
+		if coordView.Version != workerView.Version || coordView.PayloadVersion != workerView.PayloadVersion {
+			t.Fatalf("round %d: coordinator mirror (v%d,p%d) out of step with worker (v%d,p%d)",
+				round, coordView.Version, coordView.PayloadVersion, workerView.Version, workerView.PayloadVersion)
+		}
+		requireSameDict(t, "mirror", workerView.Dict, coordView.Dict)
+		requireSameDict(t, "installed state", state, workerView.Dict)
+		mutate(rng, state, 0.5, "conv.w", "lin.w") // next round's aggregate
+	}
+
+	// An idle worker's frame carries nothing and leaves versions lagging.
+	idle := &Tracker{}
+	f, err := enc.FrameFor(idle, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindNone || f.HasPayload {
+		t.Fatalf("idle frame: %+v", f)
+	}
+	if _, _, _, err := idle.Apply(f); err != nil {
+		t.Fatal(err)
+	}
+	// When the idle worker later gets work with no base, it falls back to a
+	// full snapshot even under the delta codec.
+	f, err = enc.FrameFor(idle, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindFull || !f.Patch.Full {
+		t.Fatalf("worker with no base must get a full snapshot, got kind %v", f.Kind)
+	}
+}
+
+// TestEncoderFullCodecResendsEverything pins the legacy baseline: under the
+// full codec every frame carries the whole state and the whole payload,
+// even for a worker already at the current version.
+func TestEncoderFullCodecResendsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	enc, err := NewEncoder(Full{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Tracker{}
+	enc.SetRound(randDict(rng), []byte("payload"))
+	for i := 0; i < 2; i++ {
+		f, err := enc.FrameFor(tr, i == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindFull || !f.HasPayload {
+			t.Fatalf("full-codec frame %d: kind %v hasPayload %v", i, f.Kind, f.HasPayload)
+		}
+		if err := enc.Ack(tr, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

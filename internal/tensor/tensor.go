@@ -226,6 +226,23 @@ func (t *Tensor) L2Norm() float64 {
 	return math.Sqrt(s)
 }
 
+// EqualBits reports whether t and o hold bitwise-identical data: element
+// counts equal and every float64 identical at the bit level, so 0 and -0
+// differ and NaNs compare by payload. It is the equality the delta-wire
+// codecs and FedAvg's unanimity short-circuit rely on — "equal" must never
+// merge values that are not literally the same bits.
+func (t *Tensor) EqualBits(o *Tensor) bool {
+	if len(t.data) != len(o.data) {
+		return false
+	}
+	for i := range t.data {
+		if math.Float64bits(t.data[i]) != math.Float64bits(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // AllClose reports whether every element of t is within tol of the matching
 // element of o. Shapes must match exactly.
 func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
