@@ -456,19 +456,21 @@ func BenchmarkTableVIII(b *testing.B) {
 	reportRefFiL(b, res["ours"])
 }
 
-// BenchmarkBroadcastEncode prices the v4 delta-broadcast wire subsystem on
-// the LwF scenario — the method whose wire state (the frozen distillation
-// teacher, a complete model) made full rebroadcast twice the size of the
-// state dict. The setup reproduces a steady-state task-1 round: weights
-// trained past initialization, teacher snapshotted at task start, and a
-// worker already holding the previous round's state. Each op encodes one
-// round's broadcast frame for that worker — SetRound, FrameFor, and the
-// gob serialization the transport would put on the socket — and bytes/round
-// reports the measured frame size. Full re-sends state + teacher every
-// round; delta ships only changed keys and skips the unchanged teacher
-// payload; topk further sparsifies each key to its largest-magnitude
-// changes (lossy). BENCH_wire.json records the measured reduction, which is
-// CPU-count independent.
+// BenchmarkBroadcastEncode prices the delta wire subsystem's broadcast
+// direction on the LwF scenario — the method whose wire state (the frozen
+// distillation teacher, a complete model) made full rebroadcast twice the
+// size of the state dict. The setup reproduces a steady-state task-1
+// round: weights trained past initialization, teacher snapshotted at task
+// start, and a worker already holding the previous round's state. Each op
+// encodes one round's broadcast frame for that worker — SetRound,
+// FrameFor, and the gob serialization the transport would put on the
+// socket — and bytes/round reports the measured frame size. Full re-sends
+// state + teacher every round; delta ships only changed keys (since v5
+// base-relative packed: XOR against the base, significance-plane shuffle,
+// DEFLATE — lossless) and skips the unchanged teacher payload; topk
+// sparsifies each key to its largest-magnitude changes (lossy).
+// BENCH_wire.json records the measured reduction, which is CPU-count
+// independent.
 func BenchmarkBroadcastEncode(b *testing.B) {
 	family, err := data.NewFamily("pacs", 16)
 	if err != nil {
@@ -555,6 +557,118 @@ func BenchmarkBroadcastEncode(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(frameBytes), "bytes/round")
+		})
+	}
+}
+
+// BenchmarkUploadEncode prices the v5 upload direction on the same LwF
+// steady state as BenchmarkBroadcastEncode — the direction that dominated
+// the wire after PR 4, since every job acked its replica's complete state
+// dict back (~271 KB of gob per job). The setup reproduces one task-1 job:
+// the round's broadcast base installed on the worker, a replica spawned
+// and locally trained from it. Each op encodes one job's acknowledgement —
+// the JobResult plus the gob serialization the transport puts on the
+// socket — and bytes/ack reports the measured frame size. full is the
+// legacy path (complete state dict as WireTensors, what the full codec
+// still ships); delta diffs the replica against the broadcast base with
+// the lossless packed delta (changed keys only, per-element XOR against
+// the base, significance-plane shuffle, DEFLATE). Local training changes
+// ~96% of the state's elements — SGD touches every trainable tensor and
+// the BN running stats — so unlike the broadcast direction there is no
+// frozen-teacher payload to skip: the upload reduction comes from the
+// frozen keys dropping out plus the packed encoding compressing the XOR
+// closeness of trained weights to their base. The reduction is bounded by
+// the full entropy of trained float64 mantissas; BENCH_wire.json records
+// the measured ceiling.
+func BenchmarkUploadEncode(b *testing.B) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := experiments.NewMethodFromFlag("lwf", model.DefaultConfig(family.Classes), 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	localCtx := func(a fl.Algorithm, task int, seed int64) *fl.LocalContext {
+		train, _, err := family.Generate(family.Domains[task], 48, 12, fl.TaskSeed(seed, task))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &fl.LocalContext{
+			ClientID: 0, Task: task, ClientTask: task, Group: fl.GroupNew,
+			Data: train, Epochs: 1, BatchSize: 8, LR: 0.05,
+			Rng: rand.New(rand.NewSource(seed)),
+		}
+	}
+	// Task 0 training moves the global off initialization, OnTaskStart(1)
+	// snapshots the teacher; the resulting global is the round's broadcast
+	// base. A spawned replica trains one job from it — exactly what a v5
+	// worker diffs against the base it holds.
+	if _, err := alg.LocalTrain(localCtx(alg, 0, benchSeed)); err != nil {
+		b.Fatal(err)
+	}
+	if err := alg.OnTaskStart(1); err != nil {
+		b.Fatal(err)
+	}
+	base := nn.StateDict(alg.Global())
+	replica, err := alg.Spawn()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := replica.LocalTrain(localCtx(replica, 1, benchSeed+1)); err != nil {
+		b.Fatal(err)
+	}
+	next := nn.StateDict(replica.Global())
+
+	encodeAck := func(codec wire.Codec) (transport.JobResult, error) {
+		jr := transport.JobResult{Index: 0}
+		if codec == nil {
+			jr.State = transport.ToWire(next)
+			return jr, nil
+		}
+		p, err := codec.Encode(base, next)
+		if err != nil {
+			return transport.JobResult{}, err
+		}
+		jr.Patch = p
+		return jr, nil
+	}
+	for _, setting := range []struct {
+		name  string
+		codec wire.Codec
+	}{
+		{"full", nil},
+		{"delta", wire.Delta{}},
+	} {
+		setting := setting
+		b.Run(setting.name, func(b *testing.B) {
+			var sink countingWriter
+			genc := gob.NewEncoder(&sink)
+			// Prime the stream so gob's one-time type descriptors stay out
+			// of the measured acks, as a live connection pays them once.
+			prime, err := encodeAck(setting.codec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := genc.Encode(transport.Update{Version: transport.ProtocolVersion, Results: []transport.JobResult{prime}}); err != nil {
+				b.Fatal(err)
+			}
+			var ackBytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jr, err := encodeAck(setting.codec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := sink.n
+				u := transport.Update{Version: transport.ProtocolVersion, WorkerID: 1, Results: []transport.JobResult{jr}}
+				if err := genc.Encode(u); err != nil {
+					b.Fatal(err)
+				}
+				ackBytes = sink.n - before
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ackBytes), "bytes/ack")
 		})
 	}
 }

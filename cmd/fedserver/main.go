@@ -24,13 +24,18 @@
 // late with 1/(1+k)-discounted FedAvg weight; -straggler simulates lagging
 // clients deterministically.
 //
-// -codec selects the broadcast wire format (protocol v4): "full" rebroadcasts
-// the complete state and method wire state every round (the legacy baseline),
-// "delta" ships per-key diffs against each worker's last-acked base version
-// and re-sends the wire state (e.g. LwF's teacher, a full model) only when
-// its bytes change, and "topk" additionally sparsifies each changed key to
-// its largest-magnitude element changes (lossy). full and delta produce
-// bit-identical accuracy matrices; per-round byte savings are logged.
+// -codec selects the wire format (protocol v5): "full" rebroadcasts the
+// complete state and method wire state every round and receives full state
+// dicts back (the legacy baseline), "delta" ships per-key diffs against
+// each worker's last-acked base version — and, since v5, receives each
+// job's trained state back as a lossless patch against the round's
+// broadcast base instead of the full dict — re-sending the wire state
+// (e.g. LwF's teacher, a full model) only when its bytes change. "topk"
+// additionally sparsifies each broadcast key to its largest-magnitude
+// element changes (lossy); it is broadcast-only — its uploads fall back to
+// the lossless delta, so FedAvg inputs are never approximated. full and
+// delta produce bit-identical accuracy matrices; per-round byte savings
+// are logged.
 package main
 
 import (
@@ -141,9 +146,10 @@ func run() error {
 	}
 	if *wireLog {
 		tr.OnRound = func(rs transport.RoundStats) {
-			fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s, frames %d full/%d delta/%d idle, %d fallbacks, %d attempts\n",
+			fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s (%d patch/%d full), frames %d full/%d delta/%d idle, %d fallbacks (%d upload), %d attempts\n",
 				rs.Task, rs.Round, fmtBytes(rs.BroadcastBytes), fmtBytes(rs.UploadBytes),
-				rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.Attempts)
+				rs.PatchUploads, rs.StateUploads,
+				rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.UploadFallbacks, rs.Attempts)
 		}
 	}
 	// With a staleness window the engine runs bounded-staleness rounds:
@@ -188,9 +194,11 @@ func run() error {
 		fmt.Printf("async rounds: staleness window %d, %d results dropped beyond the bound\n", ar.Staleness, ar.Dropped())
 	}
 	st := tr.Stats()
-	fmt.Printf("wire totals (codec %s): %d rounds, broadcast %s (%s/round), uploads %s, frames %d full/%d delta/%d idle, %d full-snapshot fallbacks\n",
+	fmt.Printf("wire totals (codec %s): %d rounds, broadcast %s (%s/round), uploads %s (%s/round, %d patch/%d full, %d fallbacks), frames %d full/%d delta/%d idle, %d full-snapshot fallbacks\n",
 		tr.Codec(), st.Rounds, fmtBytes(st.BroadcastBytes), fmtBytes(perRound(st.BroadcastBytes, st.Rounds)),
-		fmtBytes(st.UploadBytes), st.FullFrames, st.DeltaFrames, st.IdleFrames, st.Fallbacks)
+		fmtBytes(st.UploadBytes), fmtBytes(perRound(st.UploadBytes, st.Rounds)),
+		st.PatchUploads, st.StateUploads, st.UploadFallbacks,
+		st.FullFrames, st.DeltaFrames, st.IdleFrames, st.Fallbacks)
 	fmt.Printf("\naccuracy matrix (%s on %s, %d tasks, %d workers):\n", alg.Name(), family.Name, len(domains), *workers)
 	mat.FprintTriangle(os.Stdout)
 	sum, err := mat.Summarize()

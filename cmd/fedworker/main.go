@@ -10,11 +10,14 @@
 // unfinished jobs here in a follow-up broadcast for the same round; jobs
 // are placement-free, so re-execution yields the identical result.
 //
-// Broadcast state arrives as versioned wire frames (protocol v4): a full
+// Broadcast state arrives as versioned wire frames (protocol v5): a full
 // snapshot the first time, then — under the fedserver's -codec delta —
 // per-key diffs against the state this worker already holds, with the
-// method's wire state re-sent only when it changes. -codec optionally pins
-// which codec this worker accepts.
+// method's wire state re-sent only when it changes. In the same
+// configuration the worker answers each job with a lossless patch of its
+// trained state against the round's broadcast base instead of the full
+// dict (uploads are never lossy: under -codec topk they fall back to the
+// lossless delta). -codec optionally pins which codec this worker accepts.
 //
 // -method, -dataset, -tasks and -seed must match the fedserver's flags:
 // the construction seed fixes the initial weights on both sides. See

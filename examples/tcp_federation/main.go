@@ -3,12 +3,14 @@
 // worker processes (goroutines here, but each speaks only gob-over-TCP)
 // execute the rounds' jobs, deriving their private shards from the job
 // specs — no training data crosses the wire. The networked run uses the
-// v4 delta-broadcast wire format (-codec delta in the CLIs): per-key state
-// diffs against each worker's acked base version, method wire state only
-// when it changes, and per-round byte accounting printed as it runs. The
-// same engine then runs in-process, and the two accuracy matrices are
-// compared cell by cell: the delta-encoded networked path is not an
-// approximation of the local one, it is the same computation.
+// v5 delta wire format (-codec delta in the CLIs), delta-encoded in both
+// directions: per-key state diffs against each worker's acked base version
+// on broadcast, per-job patches of the trained state against the round's
+// base on upload, method wire state only when it changes, and per-round
+// byte accounting printed as it runs. The same engine then runs
+// in-process, and the two accuracy matrices are compared cell by cell: the
+// delta-encoded networked path is not an approximation of the local one,
+// it is the same computation.
 //
 // A second networked run then demonstrates bounded-staleness async
 // rounds: an fl.AsyncRunner with staleness window S=1 over the same
@@ -114,8 +116,9 @@ func run() error {
 		return err
 	}
 	runner.OnRound = func(rs transport.RoundStats) {
-		fmt.Printf("  [wire] task %d round %d: broadcast %d B, uploads %d B, frames %d full/%d delta/%d idle\n",
-			rs.Task, rs.Round, rs.BroadcastBytes, rs.UploadBytes, rs.FullFrames, rs.DeltaFrames, rs.IdleFrames)
+		fmt.Printf("  [wire] task %d round %d: broadcast %d B, uploads %d B (%d patch/%d full), frames %d full/%d delta/%d idle\n",
+			rs.Task, rs.Round, rs.BroadcastBytes, rs.UploadBytes, rs.PatchUploads, rs.StateUploads,
+			rs.FullFrames, rs.DeltaFrames, rs.IdleFrames)
 	}
 	eng, err := fl.NewEngineWithRunner(config(), alg, runner)
 	if err != nil {
@@ -148,8 +151,8 @@ func run() error {
 	}
 
 	st := runner.Stats()
-	fmt.Printf("wire totals (codec delta): broadcast %d B over %d rounds, %d full-snapshot fallbacks\n",
-		st.BroadcastBytes, st.Rounds, st.Fallbacks)
+	fmt.Printf("wire totals (codec delta): broadcast %d B, uploads %d B (%d patch/%d full) over %d rounds, %d full-snapshot fallbacks\n",
+		st.BroadcastBytes, st.UploadBytes, st.PatchUploads, st.StateUploads, st.Rounds, st.Fallbacks)
 	printMatrix("over TCP", tcpMat)
 	printMatrix("in-process", localMat)
 	for t := range tcpMat.A {

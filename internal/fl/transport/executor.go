@@ -19,7 +19,12 @@ import (
 // fl.LocalRunner worker pool the in-process engine uses — Spawn replicas,
 // per-job seeded RNGs — acknowledging each job the moment it completes.
 // Per-job acks are what let the coordinator salvage a crashing worker's
-// finished work and re-queue only the rest.
+// finished work and re-queue only the rest. Under any non-full codec
+// (protocol v5) each ack carries the trained state as a lossless patch
+// against the round's broadcast base instead of the full dict: the base is
+// exactly what this executor's tracker holds after applying the frame, and
+// exactly what the coordinator mirrors for this worker, so the upload
+// reconstructs bit for bit.
 //
 // The algorithm must be constructed exactly as the coordinator's (same
 // method, model config, task horizon and construction seed): broadcast
@@ -63,8 +68,18 @@ func NewExecutor(alg fl.Algorithm, workers int) (*Executor, error) {
 // their Index). Pass it to Worker.Serve, whose emit already serializes
 // onto the connection.
 func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
+	if e.ExpectCodec != "" && b.Codec != "" && b.Codec != e.ExpectCodec {
+		return fmt.Errorf("transport: coordinator runs codec %q, worker pinned to %q", b.Codec, e.ExpectCodec)
+	}
 	if e.ExpectCodec != "" && b.Frame.Kind != wire.KindNone && b.Frame.Patch.Codec != e.ExpectCodec {
 		return fmt.Errorf("transport: coordinator broadcasts codec %q, worker pinned to %q", b.Frame.Patch.Codec, e.ExpectCodec)
+	}
+	// Resolve the upload direction's codec from the round codec: nil keeps
+	// the legacy full-state upload (full codec), lossy broadcast codecs
+	// fall back to the lossless delta.
+	upCodec, err := wire.ForUpload(b.Codec)
+	if err != nil {
+		return fmt.Errorf("broadcast codec: %w", err)
 	}
 	stateChanged, payload, payloadChanged, err := e.tracker.Apply(&b.Frame)
 	if err != nil {
@@ -99,7 +114,22 @@ func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
 	pool := &fl.LocalRunner{Alg: e.alg, Workers: e.workers}
 	// RunEach serializes done calls, so emit never runs concurrently.
 	return pool.RunEach(jobs, func(i int, res fl.Result) error {
-		jr := JobResult{Index: i, State: ToWire(res.Dict)}
+		jr := JobResult{Index: i}
+		if upCodec != nil && e.tracker.Dict != nil {
+			// Diff the trained replica against the round's broadcast base —
+			// exactly the dict the coordinator mirrors for this worker once
+			// the round stream completes, so the patch reconstructs there
+			// bit for bit. A worker that somehow executes jobs with no
+			// installed state (nothing guarantees it today, but the
+			// fallback is cheap) uploads the full form instead.
+			p, err := upCodec.Encode(e.tracker.Dict, res.Dict)
+			if err != nil {
+				return fmt.Errorf("job %d upload state: %w", i, err)
+			}
+			jr.Patch = p
+		} else {
+			jr.State = ToWire(res.Dict)
+		}
 		if res.Upload != nil {
 			uc, ok := e.alg.(fl.UploadCoder)
 			if !ok {

@@ -146,6 +146,12 @@ func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains [
 	if got := coord.NumLive(); got != 1 {
 		t.Fatalf("live workers after crash = %d, want 1", got)
 	}
+	if codec != "" {
+		// The whole crashed-and-requeued run — including the survivor's
+		// re-executions, which diff against the survivor's own base — must
+		// have used delta-encoded uploads throughout (protocol v5).
+		requireAllPatchUploads(t, runner.Stats())
+	}
 	if err := <-killErr; err == nil {
 		t.Fatal("killed worker's Serve returned nil — the crash was never injected")
 	}
@@ -165,12 +171,17 @@ func runTCPWithCrash(t *testing.T, method string, family *data.Family, domains [
 // that never trained them before — the re-queue path's wire-state gate.
 // RefFiL crashing in task 0 covers the prompt-upload path under re-queue.
 //
-// The delta-codec cases re-run the crash under delta broadcast: the
-// coordinator drops the dead worker's base tracking, the survivor's
-// follow-up broadcast for the same round carries no state (it is already
-// at the round's version), and — for LwF — the teacher payload it loaded
-// at task start must serve the re-executed job unchanged. Bit-identical
-// matrices prove the re-queue/delta interaction loses nothing.
+// The delta-codec cases re-run the crash under delta broadcast *and*
+// delta-encoded uploads (protocol v5): the coordinator drops the dead
+// worker's base tracking, the survivor's follow-up broadcast for the same
+// round carries no state (it is already at the round's version), the
+// survivor's re-executed jobs upload patches against the survivor's *own*
+// base — which the coordinator mirrors per slot, so the reconstruction is
+// exact — and, for LwF, the teacher payload it loaded at task start must
+// serve the re-executed job unchanged. Bit-identical matrices prove the
+// re-queue/delta interaction loses nothing in either wire direction; the
+// runs additionally assert every upload was a patch (no silent full-state
+// fallback).
 func TestFaultInjectionCrashMidRound(t *testing.T) {
 	family, err := data.NewFamily("pacs", 16)
 	if err != nil {
@@ -187,6 +198,7 @@ func TestFaultInjectionCrashMidRound(t *testing.T) {
 		{"ewc", 1, 0, ""},
 		{"lwf", 1, 0, ""},
 		{"reffil", 0, 1, "delta"},
+		{"ewc", 1, 0, "delta"},
 		{"lwf", 1, 0, "delta"},
 	}
 	if testing.Short() {

@@ -7,6 +7,7 @@ import (
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
+	"reffil/internal/tensor"
 )
 
 // Runner is the transport-backed fl.Runner: it fans one round's jobs out
@@ -21,7 +22,12 @@ import (
 // codecs (UseCodec) the coordinator tracks which base version each worker
 // last acknowledged and sends per-key diffs against it, with the wire-state
 // payload re-sent only when its bytes change, and falls back to a full
-// snapshot for workers with no usable base. Jobs are assigned round-robin
+// snapshot for workers with no usable base. Under those same delta codecs
+// the upload direction is delta-encoded too (protocol v5): each acked job
+// carries a lossless patch against the round's broadcast base, which the
+// Runner reconstructs against the per-slot state it previews when building
+// the frame — including re-queue attempts, where a survivor diffs against
+// its own base. Jobs are assigned round-robin
 // by worker slot; assignment never affects results: each job is a
 // self-contained deterministic computation (see fl.Runner), so any
 // placement produces the same accuracy matrix — and under any lossless
@@ -48,10 +54,10 @@ type Runner struct {
 	// of Run.
 	OnRound func(RoundStats)
 
-	enc *wire.Encoder
-	// tmu guards trackers and stats; tracker structs are only mutated under
-	// it too (acks from different workers land concurrently).
+	// tmu guards enc, started, trackers and stats; tracker structs are only
+	// mutated under it too (acks from different workers land concurrently).
 	tmu      sync.Mutex
+	enc      *wire.Encoder
 	trackers map[int]*wire.Tracker
 	stats    Stats
 	started  bool
@@ -79,11 +85,10 @@ func NewRunner(coord *Coordinator, alg fl.Algorithm) (*Runner, error) {
 
 // UseCodec selects the broadcast codec by registry name (full|delta|topk).
 // It must be called before the first round: switching codecs mid-run would
-// invalidate the per-worker base tracking.
+// invalidate the per-worker base tracking. The started check and the
+// encoder swap hold tmu so a UseCodec racing a Run can never slip a new
+// encoder under a round in flight.
 func (r *Runner) UseCodec(name string) error {
-	if r.started {
-		return fmt.Errorf("transport: cannot switch codec after the first round")
-	}
 	codec, err := wire.New(name)
 	if err != nil {
 		return err
@@ -92,12 +97,21 @@ func (r *Runner) UseCodec(name string) error {
 	if err != nil {
 		return err
 	}
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	if r.started {
+		return fmt.Errorf("transport: cannot switch codec after the first round")
+	}
 	r.enc = enc
 	return nil
 }
 
 // Codec returns the active codec's registry name.
-func (r *Runner) Codec() string { return r.enc.Codec().Name() }
+func (r *Runner) Codec() string {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	return r.enc.Codec().Name()
+}
 
 // Stats returns the cumulative wire accounting across completed rounds.
 func (r *Runner) Stats() Stats {
@@ -128,15 +142,16 @@ func (r *Runner) dropTracker(slot int) {
 }
 
 // ackTracker mirrors a frame the worker confirmed processing into the
-// coordinator's tracker for that slot.
-func (r *Runner) ackTracker(slot int, f *wire.Frame) error {
+// coordinator's tracker for that slot. decoded is the slot's previewed
+// post-frame dict (uploadBase), so the mirror never re-decodes the patch.
+func (r *Runner) ackTracker(slot int, f *wire.Frame, decoded map[string]*tensor.Tensor) error {
 	r.tmu.Lock()
 	defer r.tmu.Unlock()
 	t, ok := r.trackers[slot]
 	if !ok {
 		return fmt.Errorf("transport: ack for worker %d with no tracker", slot)
 	}
-	return r.enc.Ack(t, f)
+	return r.enc.AckDecoded(t, f, decoded)
 }
 
 // Run implements fl.Runner over the wire. Each attempt round-robins the
@@ -156,10 +171,18 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			return nil, fmt.Errorf("transport: encoding wire state: %w", err)
 		}
 	}
+	// Mark the run started and pin this round's encoder in one critical
+	// section: UseCodec is rejected once started, and because both sides of
+	// that handshake hold tmu, a racing UseCodec either swaps the encoder
+	// before this read or errors — it can never swap mid-round.
+	r.tmu.Lock()
+	r.started = true
+	enc := r.enc
+	r.tmu.Unlock()
+	codecName := enc.Codec().Name()
 	// StateDict clones, so the encoder's canonical dict is immune to the
 	// engine mutating the global during aggregation.
-	r.enc.SetRound(nn.StateDict(r.alg.Global()), payload)
-	r.started = true
+	enc.SetRound(nn.StateDict(r.alg.Global()), payload)
 	startIn, startOut := r.coord.BytesTransferred()
 	rs := RoundStats{Task: jobs[0].Spec.Task, Round: jobs[0].Spec.Round}
 
@@ -202,14 +225,25 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 		// Frames are built serially against each worker's tracked base —
 		// deterministic, and the per-key diffing inside the codec already
 		// fans out over internal/parallel. Identical bases share one
-		// encoded patch.
+		// encoded patch. Alongside each frame, preview the state the worker
+		// will hold after applying it: that is the base its v5 upload
+		// patches diff against, and it must be known now — the coordinator
+		// only mirrors the frame into the slot's tracker when the round
+		// stream completes, while patch uploads decode mid-stream.
 		frames := make(map[int]*wire.Frame, len(targets))
+		bases := make(map[int]map[string]*tensor.Tensor, len(targets))
 		for _, slot := range targets {
-			f, err := r.enc.FrameFor(r.tracker(slot), len(assign[slot]) > 0)
+			t := r.tracker(slot)
+			f, err := enc.FrameFor(t, len(assign[slot]) > 0)
 			if err != nil {
 				return nil, fmt.Errorf("transport: encoding frame for worker %d: %w", slot, err)
 			}
 			frames[slot] = f
+			base, err := uploadBase(enc, t, f)
+			if err != nil {
+				return nil, fmt.Errorf("transport: previewing worker %d state: %w", slot, err)
+			}
+			bases[slot] = base
 		}
 
 		var (
@@ -238,6 +272,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 					Task:  jobs[0].Spec.Task,
 					Round: jobs[0].Spec.Round,
 					Frame: *f,
+					Codec: codecName,
 					Jobs:  specs,
 				}
 				if err := r.coord.send(slot, b); err != nil {
@@ -248,7 +283,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 				switch f.Kind {
 				case wire.KindFull:
 					rs.FullFrames++
-					if r.enc.Codec().Name() != wire.CodecFull {
+					if codecName != wire.CodecFull {
 						rs.Fallbacks++
 					}
 				case wire.KindDelta:
@@ -279,7 +314,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 						}
 						// The stream completed: the worker processed the
 						// frame; mirror it into its base tracker.
-						if err := r.ackTracker(slot, f); err != nil {
+						if err := r.ackTracker(slot, f, bases[slot]); err != nil {
 							setFatal(fmt.Errorf("transport: worker %d: %w", slot, err))
 						}
 						return
@@ -293,13 +328,22 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 						setFatal(fmt.Errorf("transport: worker %d acked job slot %d of %d", slot, jr.Index, len(idxs)))
 						return
 					}
-					// Decode under the lock: FromWire is pure, but the
-					// method's DecodeUpload is not documented concurrency-
-					// safe, and decode cost is dwarfed by training anyway.
+					// Decode under the lock: FromWire and wire.Decode are
+					// pure, but the method's DecodeUpload is not documented
+					// concurrency-safe, and decode cost is dwarfed by
+					// training anyway.
 					mu.Lock()
+					if jr.Patch != nil {
+						rs.PatchUploads++
+					} else {
+						rs.StateUploads++
+						if codecName != wire.CodecFull {
+							rs.UploadFallbacks++
+						}
+					}
 					gi := idxs[jr.Index]
 					if !got[gi] {
-						res, err := r.decode(jr)
+						res, err := r.decode(jr, bases[slot])
 						if err != nil {
 							if fatal == nil {
 								fatal = fmt.Errorf("transport: worker %d job %d: %w", slot, jr.Index, err)
@@ -344,11 +388,48 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 	}
 }
 
-// decode converts one acked JobResult into an fl.Result.
-func (r *Runner) decode(jr JobResult) (fl.Result, error) {
-	dict, err := FromWire(jr.State)
-	if err != nil {
-		return fl.Result{}, fmt.Errorf("state: %w", err)
+// uploadBase previews the state dict the worker holding tracker state t
+// will hold after applying f — the base its v5 upload patches diff
+// against. For a lossless codec at the current version that is the
+// canonical round dict itself (bit-identical by the definition of
+// lossless, and shared rather than re-decoded); for lossy codecs the
+// frame's patch is replayed exactly as the worker will replay it. KindNone
+// frames leave the worker on whatever base it already holds.
+func uploadBase(enc *wire.Encoder, t *wire.Tracker, f *wire.Frame) (map[string]*tensor.Tensor, error) {
+	if f.Kind == wire.KindNone {
+		return t.Dict, nil
+	}
+	if enc.Codec().Lossless() && f.Version == enc.Version() {
+		return enc.Dict(), nil
+	}
+	base := t.Dict
+	if f.Kind == wire.KindFull {
+		base = nil
+	}
+	return wire.Decode(base, &f.Patch)
+}
+
+// decode converts one acked JobResult into an fl.Result. base is the
+// broadcast base the sending worker diffed a patch upload against — its
+// post-frame state, previewed per slot when the frame was built.
+func (r *Runner) decode(jr JobResult, base map[string]*tensor.Tensor) (fl.Result, error) {
+	var dict map[string]*tensor.Tensor
+	var err error
+	switch {
+	case jr.Patch != nil && jr.State != nil:
+		return fl.Result{}, fmt.Errorf("ack carries both a full state and a patch")
+	case jr.Patch != nil:
+		dict, err = wire.Decode(base, jr.Patch)
+		if err != nil {
+			return fl.Result{}, fmt.Errorf("upload patch: %w", err)
+		}
+	case jr.State != nil:
+		dict, err = FromWire(jr.State)
+		if err != nil {
+			return fl.Result{}, fmt.Errorf("state: %w", err)
+		}
+	default:
+		return fl.Result{}, fmt.Errorf("ack carries neither a state dict nor a patch")
 	}
 	var up fl.Upload
 	if len(jr.Upload) > 0 {

@@ -100,6 +100,14 @@ func runTCP(t *testing.T, method string, family *data.Family, domains []string, 
 // runTCPCodec is runTCP with an explicit broadcast codec ("" keeps the
 // Runner's default full snapshots).
 func runTCPCodec(t *testing.T, method string, family *data.Family, domains []string, nWorkers int, wrap func(fl.Runner) fl.Runner, codec string) [][]float64 {
+	mat, _ := runTCPCodecStats(t, method, family, domains, nWorkers, wrap, codec)
+	return mat
+}
+
+// runTCPCodecStats additionally returns the transport Runner's cumulative
+// wire accounting, so tests can assert which upload/broadcast paths a run
+// actually exercised.
+func runTCPCodecStats(t *testing.T, method string, family *data.Family, domains []string, nWorkers int, wrap func(fl.Runner) fl.Runner, codec string) ([][]float64, transport.Stats) {
 	t.Helper()
 	coord, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
@@ -173,7 +181,7 @@ func runTCPCodec(t *testing.T, method string, family *data.Family, domains []str
 			t.Fatalf("worker %d: %v", id, err)
 		}
 	}
-	return mat.A
+	return mat.A, tr.Stats()
 }
 
 // TestCrossRunnerDeterminism asserts exact (==) equality of the accuracy
@@ -311,13 +319,17 @@ func TestShardSpecMaterializeMatchesPartition(t *testing.T) {
 	}
 }
 
-// TestCodecDeterminism is the delta-broadcast acceptance gate: with the
-// "delta" codec — per-key diffs against each worker's acked base version,
-// wire-state payload sent only when its bytes change — every method's
-// loopback-TCP accuracy matrix must equal the synchronous in-process
-// reference exactly (==). Combined with TestCrossRunnerDeterminism (full
-// codec == local), this proves codec full == codec delta for all six
-// methods: the delta path changes how bytes move, never what arrives.
+// TestCodecDeterminism is the delta acceptance gate for both wire
+// directions: with the "delta" codec — per-key diffs against each worker's
+// acked base version on broadcast, per-job patch uploads against the
+// round's broadcast base on the way back (protocol v5), wire-state payload
+// sent only when its bytes change — every method's loopback-TCP accuracy
+// matrix must equal the synchronous in-process reference exactly (==).
+// Combined with TestCrossRunnerDeterminism (full codec == local), this
+// proves codec full == codec delta for all six methods: the delta path
+// changes how bytes move, never what arrives. Each delta run must also
+// prove it exercised the upload-patch path — every ack a patch, no silent
+// fallback to full-state uploads.
 //
 // The async sub-test stacks the layers under churn: an fl.AsyncRunner with
 // staleness window 1 and deterministic stragglers over the TCP transport,
@@ -337,8 +349,9 @@ func TestCodecDeterminism(t *testing.T) {
 		method := method
 		t.Run(method, func(t *testing.T) {
 			local := localReference(t, method, family, domains)
-			delta := runTCPCodec(t, method, family, domains, 2, nil, "delta")
+			delta, stats := runTCPCodecStats(t, method, family, domains, 2, nil, "delta")
 			requireSameMatrix(t, "TCP(delta)", local, delta)
+			requireAllPatchUploads(t, stats)
 		})
 	}
 
@@ -350,10 +363,29 @@ func TestCodecDeterminism(t *testing.T) {
 				Delay:     fl.StragglerDelay(crossRunnerConfig().Seed, 0.33, 1),
 			}
 		}
-		full := runTCPCodec(t, "lwf", family, domains, 2, wrap, "full")
-		delta := runTCPCodec(t, "lwf", family, domains, 2, wrap, "delta")
+		full, fullStats := runTCPCodecStats(t, "lwf", family, domains, 2, wrap, "full")
+		delta, deltaStats := runTCPCodecStats(t, "lwf", family, domains, 2, wrap, "delta")
 		requireSameMatrix(t, "async delta vs async full", full, delta)
+		// The full run is the legacy upload baseline, the delta run must be
+		// all patches — and it must land the identical matrix above.
+		if fullStats.PatchUploads != 0 || fullStats.StateUploads == 0 {
+			t.Fatalf("full-codec run uploads: %+v, want legacy full-state uploads only", fullStats)
+		}
+		requireAllPatchUploads(t, deltaStats)
 	})
+}
+
+// requireAllPatchUploads asserts a delta-codec run delta-encoded every
+// upload: under any non-full codec the worker always holds the round's
+// base by the time it trains, so the full-state fallback must never fire.
+func requireAllPatchUploads(t *testing.T, stats transport.Stats) {
+	t.Helper()
+	if stats.PatchUploads == 0 {
+		t.Fatal("delta-codec run produced no patch uploads — the v5 upload path never engaged")
+	}
+	if stats.StateUploads != 0 || stats.UploadFallbacks != 0 {
+		t.Fatalf("delta-codec run uploads: %+v, want patches only", stats)
+	}
 }
 
 // TestTopKCodecRuns is the lossy codec's smoke gate: a full engine run over

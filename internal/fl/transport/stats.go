@@ -27,6 +27,15 @@ type Stats struct {
 	// connections, and re-queued work on a survivor that never saw the
 	// state.
 	Fallbacks int64
+	// PatchUploads / StateUploads count acked job results by upload kind
+	// (v5): delta-encoded patches against the round's broadcast base vs
+	// legacy full state dicts (every upload under the full codec).
+	PatchUploads int64
+	StateUploads int64
+	// UploadFallbacks counts StateUploads that happened under a non-full
+	// codec: the worker held no base to diff against, so it fell back to
+	// the full form.
+	UploadFallbacks int64
 }
 
 // add accumulates one completed round.
@@ -38,6 +47,9 @@ func (s *Stats) add(rs RoundStats) {
 	s.DeltaFrames += rs.DeltaFrames
 	s.IdleFrames += rs.IdleFrames
 	s.Fallbacks += rs.Fallbacks
+	s.PatchUploads += rs.PatchUploads
+	s.StateUploads += rs.StateUploads
+	s.UploadFallbacks += rs.UploadFallbacks
 }
 
 // RoundStats is one completed round dispatch's slice of the accounting,
@@ -57,4 +69,8 @@ type RoundStats struct {
 	DeltaFrames int64
 	IdleFrames  int64
 	Fallbacks   int64
+	// Upload counts by kind, as in Stats.
+	PatchUploads    int64
+	StateUploads    int64
+	UploadFallbacks int64
 }

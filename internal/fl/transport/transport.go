@@ -27,6 +27,15 @@
 // payload only when its bytes changed (see internal/fl/wire). Every
 // connection is byte-counted, so the Runner can prove the savings
 // (Stats/RoundStats).
+//
+// Since protocol v5 uploads are delta-encoded too: under any non-full
+// codec a worker answers each job with a lossless wire.Patch diffed
+// against the round's broadcast base — the state both ends already hold —
+// and the coordinator reconstructs it against the base it mirrors for that
+// slot. Re-queued jobs diff against the *survivor's* own base, which the
+// coordinator mirrors equally, so crash-mid-round stays bit-identical. The
+// lossy topk codec is restricted to the broadcast direction; its uploads
+// fall back to the lossless delta.
 package transport
 
 import (
@@ -54,7 +63,14 @@ import (
 // v4 replaced the raw State/Payload broadcast fields with the versioned
 // delta frame of internal/fl/wire: per-worker base-version tracking,
 // pluggable codecs, and payload-on-change wire-state semantics.
-const ProtocolVersion = 4
+//
+// v5 delta-encodes the upload direction: broadcasts carry the round's
+// codec name, and under any non-full codec workers answer each job with a
+// wire.Patch diffed against the round's broadcast base instead of the full
+// state dict (JobResult.Patch vs the legacy JobResult.State). The lossy
+// topk codec is broadcast-only — its uploads fall back to the lossless
+// delta — so FedAvg inputs are never approximated.
+const ProtocolVersion = 5
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -106,6 +122,11 @@ type Broadcast struct {
 	// maps, RefFiL's clustered prompt bank) — included only when its bytes
 	// changed since this worker last loaded it.
 	Frame wire.Frame
+	// Codec is the coordinator's broadcast codec registry name (v5).
+	// Workers derive the upload encoding from it (wire.ForUpload): under
+	// any non-full codec they diff each job's trained state against the
+	// round's broadcast base instead of uploading it whole.
+	Codec string
 	// Jobs frames the local-training jobs assigned to this worker for the
 	// round: client id, group, round, and the domain/seed coordinates the
 	// worker derives its data shard from. Workers with no jobs reply with
@@ -115,13 +136,22 @@ type Broadcast struct {
 	Done bool
 }
 
-// JobResult is one executed job's acknowledged reply.
+// JobResult is one executed job's acknowledged reply. Exactly one of State
+// and Patch carries the trained state (the FedAvg payload).
 type JobResult struct {
 	// Index is the job's position in the broadcast's Jobs list; the
 	// coordinator validates it when mapping results back to round order.
 	Index int
-	// State is the trained replica's state dict (the FedAvg payload).
+	// State is the trained replica's full state dict in the legacy wire
+	// form. Since v5 it is sent only under the full codec — the byte-
+	// accounting baseline — or when the worker holds no base to diff
+	// against (which the coordinator counts as an upload fallback).
 	State map[string]WireTensor
+	// Patch is the delta-encoded upload (v5): the trained replica's state
+	// diffed against the round's broadcast base — the dict both ends
+	// already hold, the worker in its receive tracker and the coordinator
+	// in its per-slot mirror — with a lossless codec (wire.ForUpload).
+	Patch *wire.Patch
 	// Upload is the method-specific upload, encoded by fl.UploadCoder
 	// (empty when the method uploads nothing).
 	Upload []byte
@@ -156,6 +186,10 @@ type Coordinator struct {
 	ln      net.Listener
 	mu      sync.Mutex
 	workers []*wireConn
+	// closed marks the coordinator shut down: slot lookups error instead of
+	// indexing a nil workers slice (Close may race a straggling round
+	// goroutine's send/recv/markDead).
+	closed bool
 	// bytesOut/bytesIn count the raw TCP bytes the coordinator has written
 	// to / read from workers across all connections — the ground truth the
 	// Runner's per-round byte accounting snapshots.
@@ -203,6 +237,12 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // Accept blocks until n more workers have connected.
 func (c *Coordinator) Accept(n int, timeout time.Duration) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: accepting on a closed coordinator")
+	}
 	deadline := time.Now().Add(timeout)
 	for i := 0; i < n; i++ {
 		if tl, ok := c.ln.(*net.TCPListener); ok {
@@ -216,6 +256,15 @@ func (c *Coordinator) Accept(n int, timeout time.Duration) error {
 		}
 		cc := countedConn{Conn: conn, in: &c.bytesIn, out: &c.bytesOut}
 		c.mu.Lock()
+		if c.closed {
+			// Close ran while this Accept was blocked: the coordinator's
+			// connections are already torn down, so the fresh one must not
+			// be appended (it would leak, and the worker would block on a
+			// half-open conn forever).
+			c.mu.Unlock()
+			_ = conn.Close()
+			return fmt.Errorf("transport: coordinator closed while accepting")
+		}
 		c.workers = append(c.workers, &wireConn{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)})
 		c.mu.Unlock()
 	}
@@ -253,10 +302,15 @@ func (c *Coordinator) liveSlots() []int {
 	return out
 }
 
-// markDead flags a worker slot as unusable and closes its connection.
+// markDead flags a worker slot as unusable and closes its connection. It
+// is a no-op on a closed coordinator (Close already tore every connection
+// down) and on an out-of-range slot.
 func (c *Coordinator) markDead(slot int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed || slot < 0 || slot >= len(c.workers) {
+		return
+	}
 	w := c.workers[slot]
 	if !w.dead {
 		w.dead = true
@@ -264,17 +318,28 @@ func (c *Coordinator) markDead(slot int) {
 	}
 }
 
-// slot returns the wire connection for a worker slot.
-func (c *Coordinator) slot(i int) *wireConn {
+// slot returns the wire connection for a worker slot, or an error after
+// Close (the workers slice is gone) or for an out-of-range index.
+func (c *Coordinator) slot(i int) (*wireConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.workers[i]
+	if c.closed {
+		return nil, fmt.Errorf("transport: coordinator is closed")
+	}
+	if i < 0 || i >= len(c.workers) {
+		return nil, fmt.Errorf("transport: no worker slot %d (have %d)", i, len(c.workers))
+	}
+	return c.workers[i], nil
 }
 
 // send encodes b — stamped with ProtocolVersion — to the given worker
-// slot. A failed send marks the worker dead.
+// slot. A failed send marks the worker dead; a send after Close errors
+// without touching anything.
 func (c *Coordinator) send(slot int, b Broadcast) error {
-	w := c.slot(slot)
+	w, err := c.slot(slot)
+	if err != nil {
+		return err
+	}
 	b.Version = ProtocolVersion
 	if err := w.enc.Encode(b); err != nil {
 		c.markDead(slot)
@@ -284,9 +349,13 @@ func (c *Coordinator) send(slot int, b Broadcast) error {
 }
 
 // recv decodes one update from the given worker slot. A failed decode
-// marks the worker dead.
+// marks the worker dead; a recv after Close errors without touching
+// anything.
 func (c *Coordinator) recv(slot int) (Update, error) {
-	w := c.slot(slot)
+	w, err := c.slot(slot)
+	if err != nil {
+		return Update{}, err
+	}
 	var u Update
 	if err := w.dec.Decode(&u); err != nil {
 		c.markDead(slot)
@@ -308,10 +377,16 @@ func (c *Coordinator) Shutdown() error {
 	return firstErr
 }
 
-// Close shuts the coordinator and all worker connections down.
+// Close shuts the coordinator and all worker connections down. It is
+// idempotent, and concurrent or subsequent send/recv/markDead calls return
+// errors (or no-op) instead of panicking on the discarded workers slice.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	for _, w := range c.workers {
 		_ = w.conn.Close()
 	}
@@ -344,20 +419,23 @@ func Dial(addr string, id int) (*Worker, error) {
 // different protocol version, or a handler error, is reported to the
 // coordinator on the final frame and then surfaced as Serve's own error —
 // the worker does not try to keep decoding a stream it may be misreading.
+// The version gate runs before anything else is honored, including Done: a
+// mismatched-version coordinator must not be able to silently shut a
+// worker down (Shutdown stamps Done frames with the version like every
+// other send).
 func (w *Worker) Serve(handle func(b Broadcast, emit func(JobResult) error) error) error {
 	for {
 		var b Broadcast
 		if err := w.dec.Decode(&b); err != nil {
 			return fmt.Errorf("transport: worker %d receive: %w", w.id, err)
 		}
-		if b.Done {
-			return nil
-		}
 		var fatal error
 		final := Update{WorkerID: w.id, Version: ProtocolVersion, Done: true}
 		if b.Version != ProtocolVersion {
 			fatal = fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator sent v%d", w.id, ProtocolVersion, b.Version)
 			final.Error = fatal.Error()
+		} else if b.Done {
+			return nil
 		} else {
 			emit := func(jr JobResult) error {
 				return w.enc.Encode(Update{WorkerID: w.id, Version: ProtocolVersion, Results: []JobResult{jr}})

@@ -7,6 +7,7 @@ import (
 	"net"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -130,23 +131,55 @@ func cloneDict(d map[string]*tensor.Tensor) map[string]*tensor.Tensor {
 
 // perturbHandler returns a streaming handler that "trains" each assigned
 // job by adding delta(clientID) to every broadcast weight and acks it. It
-// maintains the worker-side frame tracker, so it works under every codec
+// maintains the worker-side frame tracker and follows the v5 upload
+// policy — patch uploads against the broadcast base under any non-full
+// codec, legacy full state otherwise — so it works under every codec
 // (full snapshots, per-key deltas, idle frames).
 func perturbHandler(delta func(id int) float64) func(Broadcast, func(JobResult) error) error {
+	return perturbKeysHandler(nil, delta)
+}
+
+// perturbKeysHandler is perturbHandler restricted to the named keys (nil =
+// every key): "training" that leaves the other keys untouched, the way a
+// frozen buffer rides through real local training.
+func perturbKeysHandler(keys []string, delta func(id int) float64) func(Broadcast, func(JobResult) error) error {
 	var tr wire.Tracker
 	return func(b Broadcast, emit func(JobResult) error) error {
 		if _, _, _, err := tr.Apply(&b.Frame); err != nil {
 			return err
 		}
+		upCodec, err := wire.ForUpload(b.Codec)
+		if err != nil {
+			return err
+		}
 		for k, spec := range b.Jobs {
 			state := cloneDict(tr.Dict)
-			for _, v := range state {
+			for name, v := range state {
+				if keys != nil {
+					hit := false
+					for _, want := range keys {
+						hit = hit || want == name
+					}
+					if !hit {
+						continue
+					}
+				}
 				d := v.Data()
 				for j := range d {
 					d[j] += delta(spec.ClientID)
 				}
 			}
-			if err := emit(JobResult{Index: k, State: ToWire(state)}); err != nil {
+			jr := JobResult{Index: k}
+			if upCodec != nil && tr.Dict != nil {
+				p, err := upCodec.Encode(tr.Dict, state)
+				if err != nil {
+					return err
+				}
+				jr.Patch = p
+			} else {
+				jr.State = ToWire(state)
+			}
+			if err := emit(jr); err != nil {
 				return err
 			}
 		}
@@ -406,6 +439,7 @@ func TestBroadcastRoundTrip(t *testing.T) {
 		Version: ProtocolVersion,
 		Task:    1,
 		Round:   4,
+		Codec:   wire.CodecTopK,
 		Frame: wire.Frame{
 			Kind:        wire.KindDelta,
 			BaseVersion: 3,
@@ -449,6 +483,13 @@ func TestBroadcastRoundTrip(t *testing.T) {
 		t.Fatalf("broadcast round trip diverged:\n got %+v\nwant %+v", gotB, b)
 	}
 
+	patch, err := wire.Delta{}.Encode(
+		map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)},
+		map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, u := range []Update{
 		{
 			Version:  ProtocolVersion,
@@ -458,6 +499,11 @@ func TestBroadcastRoundTrip(t *testing.T) {
 				State:  ToWire(map[string]*tensor.Tensor{"w": tensor.RandN(rng, 1, 2, 3)}),
 				Upload: []byte{1, 2},
 			}},
+		},
+		{
+			Version:  ProtocolVersion,
+			WorkerID: 0,
+			Results:  []JobResult{{Index: 2, Patch: patch}},
 		},
 		{Version: ProtocolVersion, WorkerID: 1, Done: true},
 	} {
@@ -634,20 +680,21 @@ func TestMultiRoundFederation(t *testing.T) {
 
 // TestRunnerDeltaStats drives the byte accounting end to end: an algorithm
 // whose state is one trainable scalar plus a large frozen buffer runs two
-// rounds under the delta codec. Round one must ship full snapshots (fresh
-// workers — counted as fallbacks), round two per-key deltas that skip the
-// frozen buffer entirely, with the measured TCP bytes collapsing
-// accordingly.
+// rounds under the delta codec, with workers that "train" only the scalar.
+// Round one must ship full snapshots (fresh workers — counted as
+// fallbacks) but already collect patch uploads; round two per-key deltas
+// that skip the frozen buffer entirely — in both directions — with the
+// measured TCP bytes collapsing accordingly.
 func TestRunnerDeltaStats(t *testing.T) {
 	coord, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	done := acceptInOrder(t, coord,
-		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
-		func(w *Worker) error { return w.Serve(perturbHandler(func(id int) float64 { return float64(id) })) },
-	)
+	trainW := func(w *Worker) error {
+		return w.Serve(perturbKeysHandler([]string{"w"}, func(id int) float64 { return float64(id) }))
+	}
+	done := acceptInOrder(t, coord, trainW, trainW)
 
 	const frozenElems = 1 << 12
 	alg := newWireAlg(100).withFrozenBuffer(frozenElems)
@@ -693,9 +740,26 @@ func TestRunnerDeltaStats(t *testing.T) {
 		t.Fatalf("delta round broadcast %d bytes vs full round %d — deltas saved nothing",
 			third.BroadcastBytes, first.BroadcastBytes)
 	}
+	// v5: every ack under the delta codec is a patch upload — the workers
+	// receive state before their first job, so the no-base fallback never
+	// fires. The trained scalar is a one-key patch; the frozen buffer must
+	// drop out of the uploads exactly as it drops out of the broadcasts.
+	if first.PatchUploads != 2 || first.StateUploads != 0 || first.UploadFallbacks != 0 {
+		t.Fatalf("round 1 uploads: %+v, want 2 patch uploads", first)
+	}
 	stats := r.Stats()
 	if stats.Rounds != 3 || stats.FullFrames != 2 || stats.DeltaFrames < 3 {
 		t.Fatalf("cumulative stats: %+v", stats)
+	}
+	if stats.PatchUploads != 5 || stats.StateUploads != 0 {
+		t.Fatalf("cumulative upload counts: %+v, want 5 patch uploads", stats)
+	}
+	// Five full-state uploads would carry the ~32 KiB buffer five times;
+	// five scalar patches amount to a few KB against the ~66 KiB of round
+	// one's two full-snapshot broadcasts.
+	if stats.UploadBytes*10 >= stats.BroadcastBytes {
+		t.Fatalf("patch uploads %d bytes vs %d broadcast — upload deltas saved nothing",
+			stats.UploadBytes, stats.BroadcastBytes)
 	}
 	if err := coord.Shutdown(); err != nil {
 		t.Fatal(err)
@@ -704,6 +768,161 @@ func TestRunnerDeltaStats(t *testing.T) {
 		if err := <-ch; err != nil {
 			t.Fatalf("worker %d: %v", i, err)
 		}
+	}
+}
+
+// TestWorkerChecksVersionBeforeDone pins the shutdown-spoof fix: a Done
+// frame stamped with a foreign protocol version must not silently shut the
+// worker down — the version gate runs before Done is honored. (Shutdown
+// goes through send, which stamps the version, so genuine goodbyes pass.)
+func TestWorkerChecksVersionBeforeDone(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		w, err := Dial(ln.Addr().String(), 0)
+		if err != nil {
+			serveErr <- err
+			return
+		}
+		defer w.Close()
+		serveErr <- w.Serve(func(Broadcast, func(JobResult) error) error { return nil })
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(Broadcast{Version: ProtocolVersion + 1, Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	var u Update
+	if err := gob.NewDecoder(conn).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Error == "" || !strings.Contains(u.Error, "protocol") {
+		t.Fatalf("update error = %q, want a protocol version rejection", u.Error)
+	}
+	if err := <-serveErr; err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("Serve returned %v, want a protocol version error — a spoofed Done shut the worker down", err)
+	}
+}
+
+// TestCoordinatorClosedSafe pins the Close/round race fix: slot lookups,
+// markDead, send and recv on a closed coordinator must error (or no-op)
+// instead of panicking on the discarded workers slice, Close must be
+// idempotent, and concurrent markDead calls during Close must be safe.
+func TestCoordinatorClosedSafe(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(perturbHandler(func(int) float64 { return 1 })) },
+	)
+
+	var wg sync.WaitGroup
+	// Hammer the paths a straggling round goroutine would hit while Close
+	// runs (one sender and one receiver per connection, as the Runner
+	// guarantees); under -race this also proves the locking.
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = coord.send(0, Broadcast{Done: true})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_, _ = coord.recv(0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			coord.markDead(0)
+			coord.NumLive()
+		}
+	}()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	<-done[0] // the worker's connection died with the coordinator
+
+	if err := coord.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := coord.send(0, Broadcast{}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("send after Close = %v, want a closed-coordinator error", err)
+	}
+	if _, err := coord.recv(0); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("recv after Close = %v, want a closed-coordinator error", err)
+	}
+	coord.markDead(0) // must not panic
+	coord.markDead(99)
+	if err := coord.Accept(1, 10*time.Millisecond); err == nil {
+		t.Fatal("Accept after Close must error")
+	}
+	if got := coord.NumLive(); got != 0 {
+		t.Fatalf("NumLive after Close = %d, want 0", got)
+	}
+}
+
+// TestUseCodecConcurrentWithRun is the -race regression for the
+// started/enc guard: UseCodec racing Run must either install the codec
+// before the round pins its encoder or fail with the started error —
+// never tear the encoder out from under a round in flight.
+func TestUseCodecConcurrentWithRun(t *testing.T) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := acceptInOrder(t, coord,
+		func(w *Worker) error { return w.Serve(perturbHandler(func(int) float64 { return 1 })) },
+	)
+	r, err := NewRunner(coord, newWireAlg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	raceDone := make(chan struct{})
+	go func() {
+		defer close(raceDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.UseCodec("delta") // errors once the run has started
+			r.Codec()
+			r.Stats()
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		if _, err := r.Run(wireJobs(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-raceDone
+	if err := r.UseCodec("full"); err == nil {
+		t.Fatal("UseCodec after the first round must error")
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done[0]; err != nil {
+		t.Fatal(err)
 	}
 }
 

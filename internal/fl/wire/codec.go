@@ -59,6 +59,28 @@ func New(name string) (Codec, error) {
 // Names lists the registry codec names in flag order.
 func Names() []string { return []string{CodecFull, CodecDelta, CodecTopK} }
 
+// ForUpload resolves the codec for the worker→coordinator direction under
+// the named broadcast codec (protocol v5). The full codec — and an empty
+// name, for safety — returns nil: uploads stay legacy full-state snapshots,
+// the baseline the byte accounting measures against. Lossless codecs encode
+// uploads directly. Lossy codecs fall back to the lossless delta: a lossy
+// broadcast only degrades what a worker trains *from*, but a lossy upload
+// would silently approximate the FedAvg inputs themselves, so topk is
+// restricted to the broadcast direction by design.
+func ForUpload(broadcast string) (Codec, error) {
+	if broadcast == "" || broadcast == CodecFull {
+		return nil, nil
+	}
+	c, err := New(broadcast)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Lossless() {
+		return Delta{}, nil
+	}
+	return c, nil
+}
+
 // Full is the legacy behavior: every patch is a complete snapshot.
 type Full struct{}
 
@@ -78,9 +100,11 @@ func (Full) Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor
 	return Decode(base, p)
 }
 
-// Delta ships only the keys whose bits changed, each as its complete dense
-// tensor ("changed keys + dense payload"). Exact: unchanged keys are taken
-// from the base, changed keys arrive verbatim.
+// Delta ships only the keys whose bits changed, base-relative packed
+// ("changed keys + packed payload", see pack.go: per-element XOR against
+// the base, significance-plane shuffled, DEFLATE-compressed). Exact:
+// unchanged keys are taken from the base, changed keys reconstruct bit for
+// bit from the base and the packed XOR words.
 type Delta struct{}
 
 // Name implements Codec.
@@ -97,15 +121,15 @@ func (Delta) Encode(base, next map[string]*tensor.Tensor) (*Patch, error) {
 	}
 	keys := sortedKeys(next)
 	changed := changedKeys(keys, base, next)
-	sub := make(map[string]*tensor.Tensor, len(changed))
-	for _, k := range changed {
-		sub[k] = next[k]
+	if len(changed) == 0 {
+		// A pure no-change patch: Decode returns a copy of the base.
+		return &Patch{Codec: CodecDelta}, nil
 	}
-	dense, err := encodeDense(sub)
+	packed, err := packDelta(base, next, changed)
 	if err != nil {
 		return nil, err
 	}
-	return &Patch{Codec: CodecDelta, Dense: dense}, nil
+	return &Patch{Codec: CodecDelta, Packed: packed}, nil
 }
 
 // Decode implements Codec.

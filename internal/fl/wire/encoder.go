@@ -66,6 +66,15 @@ func (e *Encoder) SetRound(dict map[string]*tensor.Tensor, payload []byte) {
 	e.patches = make(map[uint64]*Patch)
 }
 
+// Dict returns the current round's canonical state dict (nil before the
+// first SetRound). The dict and every tensor in it are shared and must be
+// treated as immutable.
+func (e *Encoder) Dict() map[string]*tensor.Tensor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dict
+}
+
 // Version returns the current state version.
 func (e *Encoder) Version() uint64 {
 	e.mu.Lock()
@@ -169,4 +178,23 @@ func (e *Encoder) Ack(t *Tracker, f *Frame) error {
 	}
 	_, _, _, err := t.Apply(f)
 	return err
+}
+
+// AckDecoded advances the tracker like Ack, but installs an already-decoded
+// post-frame dict instead of replaying the patch. The caller guarantees
+// decoded is exactly what the receiver reconstructed — the Runner passes
+// the per-slot preview it computed at frame-build time (its uploadBase),
+// which replayed the very same patch — so the lossy-codec mirror pays one
+// decode per frame instead of two. Validation is identical to Apply's.
+func (e *Encoder) AckDecoded(t *Tracker, f *Frame, decoded map[string]*tensor.Tensor) error {
+	if err := t.Validate(f); err != nil {
+		return err
+	}
+	if f.Kind != KindNone {
+		t.Dict, t.Version = decoded, f.Version
+	}
+	if f.HasPayload {
+		t.PayloadVersion = f.PayloadVersion
+	}
+	return nil
 }

@@ -32,6 +32,16 @@
 // lags until they next receive work, at which point the encoder diffs
 // against their actual base — or sends a full snapshot if they never had
 // one.
+//
+// Since transport protocol v5 the codec layer is direction-agnostic in
+// practice, not just in type: workers diff each trained replica against the
+// round's broadcast base (their Tracker's dict) and upload a Patch instead
+// of a full state dict, and the coordinator reconstructs it against the
+// mirrored base it tracks for that worker. ForUpload is the direction
+// policy — lossless codecs encode uploads directly, the lossy topk falls
+// back to the lossless delta so FedAvg inputs are never approximated — and
+// pack.go is the base-relative packed encoding the delta codec ships both
+// directions' changed keys in.
 package wire
 
 import (
@@ -58,9 +68,15 @@ type Patch struct {
 	// sizes on load).
 	Dense []byte
 	// Sparse carries per-key scatter updates (DeltaTopK): flat element
-	// positions and their new values. A key never appears in both Dense and
-	// Sparse.
+	// positions and their new values. A key never appears in more than one
+	// of Dense, Sparse and Packed.
 	Sparse []SparseEntry
+	// Packed holds base-relative packed tensors (protocol v5, see pack.go):
+	// each changed element's bits XORed against the base, byte-shuffled
+	// into significance planes and DEFLATE-compressed. Exactly invertible —
+	// lossless bit for bit — but decodable only against the base the
+	// encoder diffed, so Full patches never carry it.
+	Packed []byte
 }
 
 // SparseEntry is one key's sparse update: set Val[i] at flat position
@@ -214,6 +230,9 @@ func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor
 		if len(p.Sparse) > 0 {
 			return nil, fmt.Errorf("wire: full patch carries %d sparse entries", len(p.Sparse))
 		}
+		if len(p.Packed) > 0 {
+			return nil, fmt.Errorf("wire: full patch carries %d packed bytes", len(p.Packed))
+		}
 		return checkpoint.Load(bytes.NewReader(p.Dense))
 	}
 	if base == nil {
@@ -241,13 +260,18 @@ func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor
 			patched[k] = true
 		}
 	}
+	if len(p.Packed) > 0 {
+		if err := unpackDelta(base, p.Packed, out, patched); err != nil {
+			return nil, err
+		}
+	}
 	for _, se := range p.Sparse {
 		bt, ok := base[se.Key]
 		if !ok {
 			return nil, fmt.Errorf("wire: sparse patch updates unknown key %q", se.Key)
 		}
 		if patched[se.Key] {
-			return nil, fmt.Errorf("wire: key %q appears in both dense and sparse parts", se.Key)
+			return nil, fmt.Errorf("wire: key %q appears in more than one patch part", se.Key)
 		}
 		patched[se.Key] = true
 		if len(se.Idx) != len(se.Val) {
@@ -255,10 +279,18 @@ func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor
 		}
 		nt := bt.Clone()
 		d := nt.Data()
+		seen := make(map[int64]struct{}, len(se.Idx))
 		for i, ix := range se.Idx {
 			if ix < 0 || int(ix) >= len(d) {
 				return nil, fmt.Errorf("wire: sparse entry %q index %d outside %d elements", se.Key, ix, len(d))
 			}
+			if _, dup := seen[ix]; dup {
+				// Last-write-wins would silently mask an encoder bug or a
+				// corrupted frame; a well-formed entry lists each position
+				// at most once.
+				return nil, fmt.Errorf("wire: sparse entry %q repeats index %d", se.Key, ix)
+			}
+			seen[ix] = struct{}{}
 			d[ix] = se.Val[i]
 		}
 		out[se.Key] = nt

@@ -124,11 +124,22 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// patchBytes measures a patch as the transport would ship it.
+func patchBytes(t *testing.T, p *Patch) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
 // TestDeltaEmptyDiffIsTiny pins the point of the delta codec: an unchanged
 // state encodes to a patch orders of magnitude smaller than the snapshot.
 func TestDeltaEmptyDiffIsTiny(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	base := randDict(rng)
+	base["big.w"] = tensor.RandN(rng, 1, 64, 64) // amortize gob framing overhead
 	full, err := Full{}.Encode(nil, base)
 	if err != nil {
 		t.Fatal(err)
@@ -137,8 +148,82 @@ func TestDeltaEmptyDiffIsTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(empty.Dense) >= len(full.Dense)/10 {
-		t.Fatalf("empty diff encodes to %d bytes, full snapshot %d — no saving", len(empty.Dense), len(full.Dense))
+	if got, limit := patchBytes(t, empty), patchBytes(t, full)/10; got >= limit {
+		t.Fatalf("empty diff encodes to %d bytes, full snapshot %d — no saving", got, patchBytes(t, full))
+	}
+}
+
+// TestPackedDeltaExploitsCloseness pins the v5 packed encoding's reason to
+// exist: when next is numerically close to base — one SGD step away, the
+// trained-replica upload case — the packed patch is materially smaller than
+// the raw float64 payload of the changed keys, even though every element's
+// bits changed. The XOR against the base zeroes the bytes the two values
+// agree on and the plane shuffle hands DEFLATE the zero runs.
+func TestPackedDeltaExploitsCloseness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := randDict(rng)
+	base["big.w"] = tensor.RandN(rng, 1, 64, 64)
+	next := cloneDict(base)
+	rawBytes := 0
+	for _, k := range []string{"conv.w", "lin.w", "lin.b", "scalar", "big.w"} {
+		d := next[k].Data()
+		for i := range d {
+			d[i] *= 1 + 1e-12*(rng.Float64()+0.5) // every element changes, barely
+		}
+		rawBytes += 8 * len(d)
+	}
+	p, err := Delta{}.Encode(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Packed) == 0 {
+		t.Fatal("changed keys must ship packed")
+	}
+	if got := patchBytes(t, p); got >= rawBytes/2 {
+		t.Fatalf("packed close-delta is %d bytes, raw changed payload %d — packing saved too little", got, rawBytes)
+	}
+	got, err := Decode(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDict(t, "packed closeness", next, got)
+}
+
+// TestPackedDeltaRejectsCorrupt covers the unpack-side validation edges:
+// truncated header, unknown key, element-count mismatch against the base,
+// and a key appearing in both the dense and packed parts.
+func TestPackedDeltaRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	base := randDict(rng)
+	next := cloneDict(base)
+	mutate(rng, next, 1, "lin.b")
+	p, err := Delta{}.Encode(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecDelta, Packed: p.Packed[:3]}); err == nil {
+		t.Fatal("truncated packed payload must error")
+	}
+	stranger := map[string]*tensor.Tensor{"other": tensor.RandN(rng, 1, 4)}
+	if _, err := Decode(stranger, p); err == nil {
+		t.Fatal("packed update of a key absent from the base must error")
+	}
+	short := map[string]*tensor.Tensor{
+		"conv.w": base["conv.w"], "lin.w": base["lin.w"], "scalar": base["scalar"],
+		"lin.b": tensor.RandN(rng, 1, 4), // wrong element count
+	}
+	if _, err := Decode(short, p); err == nil {
+		t.Fatal("packed element-count mismatch against the base must error")
+	}
+	dense, err := encodeDense(map[string]*tensor.Tensor{"lin.b": next["lin.b"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecDelta, Dense: dense, Packed: p.Packed}); err == nil {
+		t.Fatal("key in both dense and packed parts must error")
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecDelta, Full: true, Packed: p.Packed}); err == nil {
+		t.Fatal("full patch carrying packed bytes must error")
 	}
 }
 
@@ -245,6 +330,39 @@ func TestDecodeRejectsCorruptPatches(t *testing.T) {
 	}
 	if _, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "lin.b", Idx: []int64{0, 1}, Val: []float64{1}}}}); err == nil {
 		t.Fatal("index/value length mismatch must error")
+	}
+	if _, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "lin.b", Idx: []int64{3, 0, 3}, Val: []float64{1, 2, 3}}}}); err == nil {
+		t.Fatal("duplicate sparse index must error, not last-write-win")
+	}
+}
+
+// TestSparseEntryEdgeCases pins the accepted-but-unusual sparse shapes: an
+// entry with no indices is a no-op that still yields a fresh (non-aliased)
+// tensor, and out-of-order indices apply correctly — values pair with their
+// positions, not with an assumed ascending order.
+func TestSparseEntryEdgeCases(t *testing.T) {
+	base := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{10, 11, 12, 13}, 4)}
+
+	got, err := Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{{Key: "w"}}})
+	if err != nil {
+		t.Fatalf("empty-Idx entry must decode: %v", err)
+	}
+	if got["w"] == base["w"] {
+		t.Fatal("a patched key must not alias the base tensor, even for a no-op entry")
+	}
+	requireSameDict(t, "empty idx", base, got)
+
+	got, err = Decode(base, &Patch{Codec: CodecTopK, Sparse: []SparseEntry{
+		{Key: "w", Idx: []int64{3, 0}, Val: []float64{-3, -0.5}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-0.5, 11, 12, -3}
+	for i, w := range want {
+		if got["w"].Data()[i] != w {
+			t.Fatalf("out-of-order apply: element %d = %v, want %v", i, got["w"].Data()[i], w)
+		}
 	}
 }
 
