@@ -36,6 +36,9 @@
 // the lossless delta, so FedAvg inputs are never approximated. full and
 // delta produce bit-identical accuracy matrices; per-round byte savings
 // are logged.
+//
+// -pprof ADDR serves the net/http/pprof endpoints for live CPU/heap
+// profiling of a running coordinator (see README "Performance").
 package main
 
 import (
@@ -52,6 +55,7 @@ import (
 	"reffil/internal/fl/transport"
 	"reffil/internal/fl/wire"
 	"reffil/internal/model"
+	"reffil/internal/profiling"
 )
 
 func main() {
@@ -106,10 +110,18 @@ func run() error {
 		requeue   = flag.Bool("requeue", true, "re-queue a dead worker's unfinished jobs on the survivors instead of failing the round")
 		codec     = flag.String("codec", "full", "broadcast codec: "+strings.Join(wire.Names(), "|")+" (delta sends per-key diffs against each worker's acked base and re-sends method wire state only when it changes; full and delta are bit-identical)")
 		wireLog   = flag.Bool("wire-log", true, "log per-round wire statistics (bytes broadcast/uploaded, frame kinds, fallbacks)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables profiling)")
 	)
 	flag.Parse()
 	if *straggler > 0 && *staleness < 1 {
 		return fmt.Errorf("-straggler %v needs -staleness >= 1: a lagging result with window 0 is always dropped", *straggler)
+	}
+	if *pprofAddr != "" {
+		bound, err := profiling.Serve(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", bound)
 	}
 
 	family, err := data.NewFamily(*dataset, 16)

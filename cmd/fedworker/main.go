@@ -22,6 +22,10 @@
 // -method, -dataset, -tasks and -seed must match the fedserver's flags:
 // the construction seed fixes the initial weights on both sides. See
 // cmd/fedserver for the full deployment recipe.
+//
+// -pprof ADDR serves the net/http/pprof endpoints for live CPU/heap
+// profiling of a running worker — the side where the kernel hot paths
+// (local training) actually burn (see README "Performance").
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"reffil/internal/fl/transport"
 	"reffil/internal/fl/wire"
 	"reffil/internal/model"
+	"reffil/internal/profiling"
 )
 
 func main() {
@@ -54,8 +59,16 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "shared run seed (must match fedserver)")
 		jobs    = flag.Int("jobs", 0, "concurrent jobs per round (0 = NumCPU)")
 		codec   = flag.String("codec", "", "pin the accepted broadcast codec ("+strings.Join(wire.Names(), "|")+"); empty accepts whatever the coordinator sends")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables profiling)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		bound, err := profiling.Serve(*pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worker %d: pprof listening on http://%s/debug/pprof/\n", *id, bound)
+	}
 
 	family, err := data.NewFamily(*dataset, 16)
 	if err != nil {

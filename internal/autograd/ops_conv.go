@@ -12,6 +12,14 @@ import (
 // images cheaper than this in aggregate stay on the calling goroutine.
 const convChunkOps = parallel.DefaultChunkOps
 
+// colBufs pools the per-image im2col column matrices. A forward pass draws
+// one buffer per image and retains it for the backward pass (the weight
+// gradient re-reads the columns); back() returns the buffers once the
+// gradients are computed. Buffers drawn by a tape that is never
+// backpropagated (a no-grad forward) are simply dropped for the GC to
+// collect — sync.Pool makes that safe, it just forgoes the reuse.
+var colBufs parallel.ScratchPool[float64]
+
 // gwPartials caps how many weight-gradient partial accumulators Conv2D's
 // backward materializes at once. A fixed, machine-independent count keeps
 // the reduction order deterministic and bounds extra memory to
@@ -46,11 +54,13 @@ func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
 
 	out := tensor.New(bs, o, geom.OutH, geom.OutW)
 	cols := make([][]float64, bs)
+	bufs := make([]*[]float64, bs)
 	imgLen := c * h * wd
 	imgGrain := parallel.GrainForCost(2*o*k*p, convChunkOps)
 	parallel.For(bs, imgGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			cols[i] = make([]float64, k*p)
+			bufs[i] = colBufs.Get(k * p)
+			cols[i] = *bufs[i]
 			geom.Im2col(x.T.Data()[i*imgLen:(i+1)*imgLen], cols[i])
 			colT := tensor.FromSlice(cols[i], k, p)
 			res := tensor.MatMul(wMat, colT)
@@ -133,6 +143,16 @@ func Conv2D(x, w, b *Value, stride, pad int) (*Value, error) {
 				}
 			})
 			accumulate(x, gx)
+		}
+		// The column matrices are dead once the gradients above are
+		// computed; return them to the pool. Backward visits each node at
+		// most once per tape, so nothing reads cols after this (a hypothetical
+		// second Backward over the same tape would nil-panic loudly here
+		// rather than silently reuse recycled buffers).
+		for i := range cols {
+			cols[i] = nil
+			colBufs.Put(bufs[i])
+			bufs[i] = nil
 		}
 	}
 	return node, nil

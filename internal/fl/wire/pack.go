@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"sync"
 
+	"reffil/internal/parallel"
 	"reffil/internal/tensor"
 )
 
@@ -23,20 +26,34 @@ import (
 //	uvarint key count
 //	per key: uvarint name length, name bytes,
 //	         uvarint rank, rank × uvarint dims
-//	flate stream of the significance planes: for the N elements across all
-//	listed keys, 8 planes of N bytes each — plane p holds byte p (big
-//	endian, most significant first) of XOR(base bits, next bits)
+//	1 raw-mask byte: bit p set = plane p is stored raw, clear = deflated
+//	raw planes, ascending p, N bytes each, uncompressed
+//	one flate stream of the deflated planes, ascending p (absent when every
+//	plane is raw): for the N elements across all listed keys, plane p holds
+//	byte p (big endian, most significant first) of XOR(base bits, next bits)
 //
 // The plane shuffle groups the near-zero high-order XOR bytes into long
-// zero runs that DEFLATE collapses, while the random low-order planes pass
-// through essentially stored. The transform is exactly invertible — packing
-// is lossless by construction, bit for bit — and decoding requires the same
-// base the encoder diffed against, which the delta framing already
-// guarantees (Tracker/Encoder version tracking on both ends).
+// zero runs that DEFLATE collapses. The low-order mantissa planes of
+// trained weights are full-entropy noise — DEFLATE can only store them,
+// at ~15× the cost of a copy — so each plane's byte histogram is measured
+// first and planes whose order-0 entropy says "incompressible" bypass the
+// compressor entirely (the raw-mask byte records the choice, so decoding
+// is unambiguous). The decision is a pure function of the payload, so
+// packed bytes stay deterministic. The transform is exactly invertible —
+// packing is lossless by construction, bit for bit — and decoding requires
+// the same base the encoder diffed against, which the delta framing
+// already guarantees (Tracker/Encoder version tracking on both ends).
 //
 // The format is direction-agnostic: broadcast patches pack the aggregate
 // against the worker's acked base, upload patches pack a trained replica
 // against the round's broadcast base.
+//
+// Hot-path mechanics: the XOR and the plane shuffle are fused into one
+// block-wise sweep fanned over internal/parallel — each block of XOR words
+// is computed into a stack buffer and immediately scattered into its 8
+// plane segments while still cache-hot, instead of one strided 8-way write
+// per element. The DEFLATE coders and the plane buffers come from pools,
+// so steady-state packing allocates nothing but the output bytes.
 
 // packLevel is the DEFLATE effort. The payload is zero runs in the high
 // planes and incompressible noise in the low ones, so higher levels buy
@@ -52,6 +69,71 @@ const (
 	maxPackElems   = 1 << 22
 )
 
+// planeBlock is the element count of one fused XOR+shuffle block: the block
+// of XOR words (8 KiB) lives in a stack buffer that stays L1-resident while
+// its 8 plane segments are written.
+const planeBlock = 1024
+
+// planeGrainOps prices one element of plane work (8 byte extractions plus
+// the XOR) for the parallel grain computation.
+const planeGrainOps = 12
+
+// rawPlaneBits is the order-0 entropy threshold (bits/byte, of 8) above
+// which a plane is stored raw instead of deflated. At 7.6 bits/byte the
+// best possible order-0 ratio is ~95%, and DEFLATE BestSpeed on such noise
+// in practice emits stored blocks (≥100% of the input) while still paying
+// its full hash-and-match scan. The threshold is deliberately high: a
+// borderline plane goes to the compressor, so raw is only chosen when
+// compression is hopeless.
+const rawPlaneBits = 7.6
+
+// rawPlaneMinLen keeps tiny planes on the DEFLATE path: the histogram of a
+// short plane is too sparse for the entropy estimate to mean anything, and
+// the compression cost is negligible anyway.
+const rawPlaneMinLen = 1024
+
+var (
+	// planeBufs pools the 8×N significance-plane buffers.
+	planeBufs parallel.ScratchPool[byte]
+	// flateWriters and flateReaders pool the DEFLATE coder state (the
+	// writer alone is >1 MB of window and hash tables), reset per use.
+	flateWriters sync.Pool
+	flateReaders sync.Pool
+)
+
+// getFlateWriter returns a pooled DEFLATE writer reset to w.
+func getFlateWriter(w io.Writer) (*flate.Writer, error) {
+	if fw, ok := flateWriters.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw, nil
+	}
+	return flate.NewWriter(w, packLevel)
+}
+
+// getFlateReader returns a pooled DEFLATE reader reset to r.
+func getFlateReader(r io.Reader) io.ReadCloser {
+	if fr, ok := flateReaders.Get().(io.ReadCloser); ok {
+		fr.(flate.Resetter).Reset(r, nil)
+		return fr
+	}
+	return flate.NewReader(r)
+}
+
+// span maps one key's run of the flat element index space (the
+// concatenation of all packed keys' elements, in key order) to its base
+// data and its counterpart: the next dict's data when packing, the decoded
+// output when unpacking.
+type span struct {
+	off  int
+	base []float64
+	data []float64
+}
+
+// spanAt returns the index of the span containing flat element index i.
+func spanAt(spans []span, i int) int {
+	return sort.Search(len(spans), func(s int) bool { return spans[s].off+len(spans[s].base) > i })
+}
+
 // packDelta encodes next's tensors for the given keys relative to base.
 // Every key must exist in both dicts with identical element counts (the
 // caller diffs compatible dicts). An empty key list is not an error, but
@@ -64,7 +146,7 @@ func packDelta(base, next map[string]*tensor.Tensor, keys []string) ([]byte, err
 		buf.Write(scratch[:n])
 	}
 	total := 0
-	putUvarint(uint64(len(keys)))
+	spans := make([]span, 0, len(keys))
 	for _, k := range keys {
 		nt, bt := next[k], base[k]
 		if nt == nil || bt == nil {
@@ -81,45 +163,182 @@ func packDelta(base, next map[string]*tensor.Tensor, keys []string) ([]byte, err
 		if len(k) == 0 || len(k) > maxPackNameLen {
 			return nil, fmt.Errorf("wire: packing invalid key name length %d", len(k))
 		}
-		shape := nt.Shape()
-		if len(shape) > maxPackDims {
-			return nil, fmt.Errorf("wire: packing key %q of rank %d > %d", k, len(shape), maxPackDims)
+		if nt.NDim() > maxPackDims {
+			return nil, fmt.Errorf("wire: packing key %q of rank %d > %d", k, nt.NDim(), maxPackDims)
 		}
-		putUvarint(uint64(len(k)))
-		buf.WriteString(k)
-		putUvarint(uint64(len(shape)))
-		for _, d := range shape {
-			putUvarint(uint64(d))
-		}
+		spans = append(spans, span{off: total, base: bt.Data(), data: nt.Data()})
 		total += nt.Size()
 	}
-
 	// Significance planes of the XOR words: plane p of element i lands at
 	// planes[p*total+i], so each plane is one contiguous run of same-order
 	// bytes for the compressor.
-	planes := make([]byte, 8*total)
-	off := 0
+	pb := planeBufs.Get(8 * total)
+	planes := *pb
+	defer planeBufs.Put(pb)
+	shufflePlanes(planes, spans, total)
+
+	var rawMask byte
+	rawBytes := 0
+	for p := 0; p < 8; p++ {
+		if planeIncompressible(planes[p*total : (p+1)*total]) {
+			rawMask |= 1 << p
+			rawBytes += total
+		}
+	}
+	// One reservation covers the usual case: headers plus the raw noise
+	// planes as-is plus the deflated zero-heavy planes, which compress well
+	// below the 2×total this over-reserves for them.
+	buf.Grow(64 + 24*len(keys) + rawBytes + 2*total)
+	putUvarint(uint64(len(keys)))
 	for _, k := range keys {
-		bd, nd := base[k].Data(), next[k].Data()
-		for i := range nd {
-			x := math.Float64bits(bd[i]) ^ math.Float64bits(nd[i])
-			for p := 0; p < 8; p++ {
-				planes[p*total+off+i] = byte(x >> (8 * (7 - p)))
+		nt := next[k]
+		putUvarint(uint64(len(k)))
+		buf.WriteString(k)
+		putUvarint(uint64(nt.NDim()))
+		for d := 0; d < nt.NDim(); d++ {
+			putUvarint(uint64(nt.Dim(d)))
+		}
+	}
+	buf.WriteByte(rawMask)
+	for p := 0; p < 8; p++ {
+		if rawMask&(1<<p) != 0 {
+			buf.Write(planes[p*total : (p+1)*total])
+		}
+	}
+	if rawMask != 0xff {
+		fw, err := getFlateWriter(&buf)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packing: %w", err)
+		}
+		defer flateWriters.Put(fw)
+		for p := 0; p < 8; p++ {
+			if rawMask&(1<<p) != 0 {
+				continue
+			}
+			if _, err := fw.Write(planes[p*total : (p+1)*total]); err != nil {
+				return nil, fmt.Errorf("wire: packing planes: %w", err)
 			}
 		}
-		off += len(nd)
-	}
-	fw, err := flate.NewWriter(&buf, packLevel)
-	if err != nil {
-		return nil, fmt.Errorf("wire: packing: %w", err)
-	}
-	if _, err := fw.Write(planes); err != nil {
-		return nil, fmt.Errorf("wire: packing planes: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, fmt.Errorf("wire: packing planes: %w", err)
+		if err := fw.Close(); err != nil {
+			return nil, fmt.Errorf("wire: packing planes: %w", err)
+		}
 	}
 	return buf.Bytes(), nil
+}
+
+// planeIncompressible reports whether a plane's byte histogram says DEFLATE
+// cannot win: order-0 entropy above rawPlaneBits bits/byte. The histogram
+// pass costs ~1 cycle/byte against the compressor's ~15, so measuring every
+// plane is cheap insurance; the decision depends only on the plane bytes,
+// keeping packed output deterministic.
+func planeIncompressible(plane []byte) bool {
+	if len(plane) < rawPlaneMinLen {
+		return false
+	}
+	var hist [256]int
+	for _, v := range plane {
+		hist[v]++
+	}
+	n := float64(len(plane))
+	bits := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		bits -= p * math.Log2(p)
+	}
+	return bits > rawPlaneBits
+}
+
+// shufflePlanes fills planes with the significance planes of the XOR of
+// every span's base and next data: the fused forward sweep. Disjoint element
+// ranges touch disjoint plane bytes, so the range fans out over
+// internal/parallel; within a chunk, each planeBlock of XOR words is
+// computed into a stack buffer and immediately fanned into its 8 plane
+// segments while cache-hot.
+func shufflePlanes(planes []byte, spans []span, total int) {
+	parallel.For(total, parallel.GrainForCost(planeGrainOps, parallel.DefaultChunkOps), func(lo, hi int) {
+		var tmp [planeBlock]uint64
+		si := spanAt(spans, lo)
+		for pos := lo; pos < hi; {
+			bhi := pos + planeBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			for j := pos; j < bhi; {
+				sp := &spans[si]
+				end := sp.off + len(sp.base)
+				stop := bhi
+				if end < stop {
+					stop = end
+				}
+				bd, nd := sp.base, sp.data
+				for ; j < stop; j++ {
+					rel := j - sp.off
+					tmp[j-pos] = math.Float64bits(bd[rel]) ^ math.Float64bits(nd[rel])
+				}
+				if j == end {
+					si++
+				}
+			}
+			nblk := bhi - pos
+			for p := 0; p < 8; p++ {
+				shift := uint(8 * (7 - p))
+				dst := planes[p*total+pos : p*total+bhi]
+				for t := 0; t < nblk; t++ {
+					dst[t] = byte(tmp[t] >> shift)
+				}
+			}
+			pos = bhi
+		}
+	})
+}
+
+// unshufflePlanes is the exact inverse sweep: it gathers each element's 8
+// plane bytes back into XOR words (block-wise, plane segment by plane
+// segment, so every read is sequential) and writes base XOR word into each
+// span's output data. Same fan-out and determinism argument as
+// shufflePlanes.
+func unshufflePlanes(planes []byte, spans []span, total int) {
+	parallel.For(total, parallel.GrainForCost(planeGrainOps, parallel.DefaultChunkOps), func(lo, hi int) {
+		var tmp [planeBlock]uint64
+		si := spanAt(spans, lo)
+		for pos := lo; pos < hi; {
+			bhi := pos + planeBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			nblk := bhi - pos
+			for t := 0; t < nblk; t++ {
+				tmp[t] = uint64(planes[pos+t]) << 56
+			}
+			for p := 1; p < 8; p++ {
+				shift := uint(8 * (7 - p))
+				src := planes[p*total+pos : p*total+bhi]
+				for t, bv := range src {
+					tmp[t] |= uint64(bv) << shift
+				}
+			}
+			for j := pos; j < bhi; {
+				sp := &spans[si]
+				end := sp.off + len(sp.base)
+				stop := bhi
+				if end < stop {
+					stop = end
+				}
+				bd, out := sp.base, sp.data
+				for ; j < stop; j++ {
+					rel := j - sp.off
+					out[rel] = math.Float64frombits(math.Float64bits(bd[rel]) ^ tmp[j-pos])
+				}
+				if j == end {
+					si++
+				}
+			}
+			pos = bhi
+		}
+	})
 }
 
 // unpackDelta applies a packed payload against base, writing each decoded
@@ -133,12 +352,19 @@ func unpackDelta(base map[string]*tensor.Tensor, packed []byte, out map[string]*
 	if err != nil {
 		return fmt.Errorf("wire: packed key count: %w", err)
 	}
+	// The smallest well-formed entry (1-byte name length, 1-byte name,
+	// rank 0) is 3 bytes, so a count the remaining payload cannot possibly
+	// hold is rejected before it sizes any allocation.
+	if count > uint64(rd.Len())/3 {
+		return fmt.Errorf("wire: packed key count %d exceeds payload capacity", count)
+	}
 	type packKey struct {
 		name  string
 		shape []int
 		n     int
 	}
-	var keys []packKey
+	keys := make([]packKey, 0, count)
+	var nameBuf []byte
 	total := 0
 	for i := uint64(0); i < count; i++ {
 		nameLen, err := binary.ReadUvarint(rd)
@@ -148,7 +374,10 @@ func unpackDelta(base map[string]*tensor.Tensor, packed []byte, out map[string]*
 		if nameLen == 0 || nameLen > maxPackNameLen {
 			return fmt.Errorf("wire: packed entry %d has invalid name length %d", i, nameLen)
 		}
-		nameBuf := make([]byte, nameLen)
+		if int(nameLen) > cap(nameBuf) {
+			nameBuf = make([]byte, nameLen)
+		}
+		nameBuf = nameBuf[:nameLen]
 		if _, err := io.ReadFull(rd, nameBuf); err != nil {
 			return fmt.Errorf("wire: packed entry %d name: %w", i, err)
 		}
@@ -191,31 +420,55 @@ func unpackDelta(base map[string]*tensor.Tensor, packed []byte, out map[string]*
 		total += n
 	}
 
-	fr := flate.NewReader(rd)
-	defer fr.Close()
-	planes := make([]byte, 8*total)
-	if _, err := io.ReadFull(fr, planes); err != nil {
-		return fmt.Errorf("wire: packed planes: %w", err)
+	rawMask, err := rd.ReadByte()
+	if err != nil {
+		return fmt.Errorf("wire: packed raw-plane mask: %w", err)
 	}
-	// The stream must end exactly where the header said it would.
-	var extra [1]byte
-	if n, _ := fr.Read(extra[:]); n != 0 {
+	pb := planeBufs.Get(8 * total)
+	planes := *pb
+	defer planeBufs.Put(pb)
+	for p := 0; p < 8; p++ {
+		if rawMask&(1<<p) == 0 {
+			continue
+		}
+		if _, err := io.ReadFull(rd, planes[p*total:(p+1)*total]); err != nil {
+			return fmt.Errorf("wire: packed raw plane %d: %w", p, err)
+		}
+	}
+	if rawMask != 0xff {
+		fr := getFlateReader(rd)
+		release := func() {
+			fr.Close()
+			flateReaders.Put(fr)
+		}
+		for p := 0; p < 8; p++ {
+			if rawMask&(1<<p) != 0 {
+				continue
+			}
+			if _, err := io.ReadFull(fr, planes[p*total:(p+1)*total]); err != nil {
+				release()
+				return fmt.Errorf("wire: packed plane %d: %w", p, err)
+			}
+		}
+		// The stream must end exactly where the header said it would.
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			release()
+			return fmt.Errorf("wire: packed planes longer than the %d declared elements", total)
+		}
+		release()
+	} else if rd.Len() != 0 {
 		return fmt.Errorf("wire: packed planes longer than the %d declared elements", total)
 	}
 
+	spans := make([]span, len(keys))
 	off := 0
-	for _, pk := range keys {
-		bd := base[pk.name].Data()
+	for i, pk := range keys {
 		data := make([]float64, pk.n)
-		for i := range data {
-			var x uint64
-			for p := 0; p < 8; p++ {
-				x |= uint64(planes[p*total+off+i]) << (8 * (7 - p))
-			}
-			data[i] = math.Float64frombits(math.Float64bits(bd[i]) ^ x)
-		}
+		spans[i] = span{off: off, base: base[pk.name].Data(), data: data}
 		out[pk.name] = tensor.FromSlice(data, pk.shape...)
 		off += pk.n
 	}
+	unshufflePlanes(planes, spans, total)
 	return nil
 }

@@ -189,6 +189,61 @@ func TestPackedDeltaExploitsCloseness(t *testing.T) {
 	requireSameDict(t, "packed closeness", next, got)
 }
 
+// TestPlaneIncompressible pins the entropy gate that routes planes past
+// DEFLATE: uniform-noise bytes are flagged raw, structured bytes are not,
+// and short planes are never flagged (raw saves nothing there).
+func TestPlaneIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	if !planeIncompressible(noise) {
+		t.Error("4 KiB of uniform noise must be flagged incompressible")
+	}
+	if planeIncompressible(noise[:rawPlaneMinLen-1]) {
+		t.Error("planes below rawPlaneMinLen must never be flagged raw")
+	}
+	if planeIncompressible(make([]byte, 4096)) {
+		t.Error("all-zero plane must be left to DEFLATE")
+	}
+	skewed := make([]byte, 4096)
+	for i := range skewed {
+		skewed[i] = byte(rng.Intn(16)) // 4 bits/byte of entropy
+	}
+	if planeIncompressible(skewed) {
+		t.Error("low-entropy plane must be left to DEFLATE")
+	}
+}
+
+// TestPackedDeltaRawPlanesRoundTrip drives the raw-plane wire path: a large
+// fully-rewritten tensor XORs to near-uniform mantissa planes, so the encoder
+// ships some planes raw (past DEFLATE) and the rest compressed. The decode
+// must still be bit-exact, and the noise payload must not balloon past its
+// raw size (DEFLATE on noise adds ~1/2^14 framing overhead at most).
+func TestPackedDeltaRawPlanesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	base := randDict(rng)
+	base["noise.w"] = tensor.RandN(rng, 1, 64, 64)
+	next := cloneDict(base)
+	d := next["noise.w"].Data()
+	for i := range d {
+		d[i] = rng.NormFloat64() // full rewrite: delta is noise in every plane
+	}
+	mutate(rng, next, 0.1, "lin.w") // plus a sparse, compressible key
+	p, err := Delta{}.Encode(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := 8 * (len(d) + len(next["lin.w"].Data()))
+	if got := patchBytes(t, p); got > rawBytes+rawBytes/8 {
+		t.Fatalf("noise-heavy packed delta is %d bytes for %d raw bytes — incompressible planes must ship raw", got, rawBytes)
+	}
+	got, err := Decode(base, gobCycle(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDict(t, "raw planes", next, got)
+}
+
 // TestPackedDeltaRejectsCorrupt covers the unpack-side validation edges:
 // truncated header, unknown key, element-count mismatch against the base,
 // and a key appearing in both the dense and packed parts.

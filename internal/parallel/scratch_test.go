@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestScratchPoolSizesAndReuses(t *testing.T) {
+	var p ScratchPool[float64]
+	b := p.Get(16)
+	if len(*b) != 16 {
+		t.Fatalf("Get(16) length = %d", len(*b))
+	}
+	(*b)[0] = 1
+	p.Put(b)
+	// A pooled buffer may come back with stale contents but must be
+	// correctly resliced, both shrinking and growing.
+	small := p.Get(4)
+	if len(*small) != 4 {
+		t.Fatalf("Get(4) length = %d", len(*small))
+	}
+	p.Put(small)
+	big := p.Get(64)
+	if len(*big) != 64 {
+		t.Fatalf("Get(64) length = %d", len(*big))
+	}
+	p.Put(big)
+}
+
+func TestScratchPoolConcurrent(t *testing.T) {
+	var p ScratchPool[byte]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 + (g+i)%512
+				b := p.Get(n)
+				if len(*b) != n {
+					t.Errorf("Get(%d) length = %d", n, len(*b))
+					return
+				}
+				for j := range *b {
+					(*b)[j] = byte(g)
+				}
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

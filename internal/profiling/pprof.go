@@ -1,0 +1,36 @@
+// Package profiling exposes the Go runtime's net/http/pprof endpoints
+// behind an opt-in address flag, so the federated binaries can be profiled
+// in place while a run is live: CPU and allocation profiles of the kernel
+// and codec hot paths, goroutine and block profiles of the transport.
+//
+// The endpoint is off unless an address is given — profiling handlers leak
+// heap and execution detail, so they must never bind implicitly.
+package profiling
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	// Register the /debug/pprof handlers on http.DefaultServeMux.
+	_ "net/http/pprof"
+)
+
+// Serve binds addr and serves the net/http/pprof endpoints on it in a
+// background goroutine for the life of the process. It returns the bound
+// address (useful when addr requests an ephemeral port, e.g.
+// "localhost:0") after the listener is live, so a caller that logs the
+// address can immediately be scraped.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers registered by the
+		// net/http/pprof import. Serve only returns on listener close,
+		// which happens at process exit.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,36 @@
+package profiling
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeExposesPprofEndpoints(t *testing.T) {
+	addr, err := Serve("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Fatalf("heap profile body missing header, got %q...", string(body[:min(80, len(body))]))
+	}
+}
+
+func TestServeRejectsBadAddress(t *testing.T) {
+	if _, err := Serve("localhost:-1"); err == nil {
+		t.Fatal("expected an error for an invalid address")
+	}
+}

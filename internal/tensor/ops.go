@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // BroadcastShapes returns the numpy-style broadcast of two shapes, or an
@@ -35,21 +36,41 @@ func BroadcastShapes(a, b []int) ([]int, error) {
 	return out, nil
 }
 
-// broadcastStrides returns strides for iterating a tensor of shape `shape`
-// as if it had been broadcast to `out` (stride 0 on broadcast axes).
-func broadcastStrides(shape, out []int) []int {
-	strides := make([]int, len(out))
+// bcScratch is the reusable stride/index scratch of one broadcasting walk.
+// Ranks are tiny (≤ a handful of axes), but binaryOp and ReduceTo sit under
+// every autograd op, so two or three make([]int, …) per call add up; the
+// pool keeps the steady state allocation-free.
+type bcScratch struct {
+	sa, sb, idx []int
+}
+
+var bcPool = sync.Pool{New: func() any { return new(bcScratch) }}
+
+// sized reslices *s to length n, growing the backing array only when needed.
+// The returned slice's contents are unspecified.
+func sized(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// broadcastStridesInto fills dst (length len(out)) with strides for
+// iterating a tensor of shape `shape` as if it had been broadcast to `out`
+// (stride 0 on broadcast axes), and returns dst.
+func broadcastStridesInto(dst, shape, out []int) []int {
 	acc := 1
 	off := len(out) - len(shape)
 	for i := len(out) - 1; i >= 0; i-- {
 		if i < off || shape[i-off] == 1 {
-			strides[i] = 0
+			dst[i] = 0
 		} else {
-			strides[i] = acc
+			dst[i] = acc
 			acc *= shape[i-off]
 		}
 	}
-	return strides
+	return dst
 }
 
 // binaryOp applies f elementwise with numpy broadcasting.
@@ -67,9 +88,13 @@ func binaryOp(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 		panic(err.Error())
 	}
 	out := New(outShape...)
-	sa := broadcastStrides(a.shape, outShape)
-	sb := broadcastStrides(b.shape, outShape)
-	idx := make([]int, len(outShape))
+	sc := bcPool.Get().(*bcScratch)
+	sa := broadcastStridesInto(sized(&sc.sa, len(outShape)), a.shape, outShape)
+	sb := broadcastStridesInto(sized(&sc.sb, len(outShape)), b.shape, outShape)
+	idx := sized(&sc.idx, len(outShape))
+	for i := range idx {
+		idx[i] = 0
+	}
 	oa, ob := 0, 0
 	for i := range out.data {
 		out.data[i] = f(a.data[oa], b.data[ob])
@@ -86,6 +111,7 @@ func binaryOp(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 			ob -= sb[ax] * outShape[ax]
 		}
 	}
+	bcPool.Put(sc)
 	return out
 }
 
@@ -118,8 +144,12 @@ func ReduceTo(t *Tensor, shape []int) *Tensor {
 		}
 	}
 	out := New(shape...)
-	strides := broadcastStrides(shape, t.shape)
-	idx := make([]int, len(t.shape))
+	sc := bcPool.Get().(*bcScratch)
+	strides := broadcastStridesInto(sized(&sc.sa, len(t.shape)), shape, t.shape)
+	idx := sized(&sc.idx, len(t.shape))
+	for i := range idx {
+		idx[i] = 0
+	}
 	off := 0
 	for i := range t.data {
 		out.data[off] += t.data[i]
@@ -133,6 +163,7 @@ func ReduceTo(t *Tensor, shape []int) *Tensor {
 			off -= strides[ax] * t.shape[ax]
 		}
 	}
+	bcPool.Put(sc)
 	return out
 }
 
