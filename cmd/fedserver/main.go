@@ -108,6 +108,7 @@ func run() error {
 		staleness = flag.Int("staleness", 0, "bounded-staleness window S: results may report up to S rounds late with discounted FedAvg weight (0 = synchronous rounds, bit-identical to the local engine)")
 		straggler = flag.Float64("straggler", 0, "per-(round,client) probability of lagging 1..S rounds (deterministic simulation; requires -staleness >= 1)")
 		requeue   = flag.Bool("requeue", true, "re-queue a dead worker's unfinished jobs on the survivors instead of failing the round")
+		pipeline  = flag.Bool("pipeline", false, "pipelined rounds: dispatch round r+1 while round r's acks are in flight; with -staleness S >= 1 lagging results stay in flight on the wire instead of being completed and withheld, at S=0 it stays bit-identical to the barrier runner")
 		codec     = flag.String("codec", "full", "broadcast codec: "+strings.Join(wire.Names(), "|")+" (delta sends per-key diffs against each worker's acked base and re-sends method wire state only when it changes; full and delta are bit-identical)")
 		wireLog   = flag.Bool("wire-log", true, "log per-round wire statistics (bytes broadcast/uploaded, frame kinds, fallbacks)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables profiling)")
@@ -148,21 +149,49 @@ func run() error {
 	}
 	fmt.Println("all workers connected")
 
-	tr, err := transport.NewRunner(coord, alg)
-	if err != nil {
-		return err
+	onRound := func(rs transport.RoundStats) {
+		fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s (%d patch/%d full), frames %d full/%d delta/%d idle, %d fallbacks (%d upload), %d attempts, dispatch %.1fms, acks %.1f-%.1fms, overlap %.0f%%\n",
+			rs.Task, rs.Round, fmtBytes(rs.BroadcastBytes), fmtBytes(rs.UploadBytes),
+			rs.PatchUploads, rs.StateUploads,
+			rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.UploadFallbacks, rs.Attempts,
+			float64(rs.DispatchNanos)/1e6, float64(rs.FirstAckNanos)/1e6, float64(rs.LastAckNanos)/1e6,
+			rs.OverlapRatio()*100)
 	}
-	tr.Requeue = *requeue
+	// Both transports expose the same engine-facing and accounting surface;
+	// -pipeline swaps the barrier Runner for the pipelined one.
+	var tr interface {
+		fl.Runner
+		UseCodec(string) error
+		Codec() string
+		Stats() transport.Stats
+	}
+	closeTransport := func() {}
+	if *pipeline {
+		pl, err := transport.NewPipeline(coord, alg)
+		if err != nil {
+			return err
+		}
+		pl.Requeue = *requeue
+		if *wireLog {
+			pl.OnRound = onRound
+		}
+		// Closed before the worker goodbye: collectors must stop treating
+		// the connection teardown Shutdown triggers as worker deaths.
+		closeTransport = func() { _ = pl.Close() }
+		tr = pl
+	} else {
+		br, err := transport.NewRunner(coord, alg)
+		if err != nil {
+			return err
+		}
+		br.Requeue = *requeue
+		if *wireLog {
+			br.OnRound = onRound
+		}
+		tr = br
+	}
 	if err := tr.UseCodec(*codec); err != nil {
 		return err
-	}
-	if *wireLog {
-		tr.OnRound = func(rs transport.RoundStats) {
-			fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s (%d patch/%d full), frames %d full/%d delta/%d idle, %d fallbacks (%d upload), %d attempts\n",
-				rs.Task, rs.Round, fmtBytes(rs.BroadcastBytes), fmtBytes(rs.UploadBytes),
-				rs.PatchUploads, rs.StateUploads,
-				rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.UploadFallbacks, rs.Attempts)
-		}
 	}
 	// With a staleness window the engine runs bounded-staleness rounds:
 	// lagging results report into later rounds of the same task with
@@ -227,6 +256,7 @@ func run() error {
 	}
 	// The goodbye is best-effort: a worker that died after its last reply
 	// must not discard a completed run's results.
+	closeTransport()
 	if err := coord.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "fedserver: shutdown:", err)
 	}

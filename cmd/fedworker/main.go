@@ -32,10 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"reffil/internal/data"
 	"reffil/internal/experiments"
+	"reffil/internal/fl"
 	"reffil/internal/fl/transport"
 	"reffil/internal/fl/wire"
 	"reffil/internal/model"
@@ -60,6 +64,10 @@ func run() error {
 		jobs    = flag.Int("jobs", 0, "concurrent jobs per round (0 = NumCPU)")
 		codec   = flag.String("codec", "", "pin the accepted broadcast codec ("+strings.Join(wire.Names(), "|")+"); empty accepts whatever the coordinator sends")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables profiling)")
+
+		straggle     = flag.Float64("straggle", 0, "per-(round,client) probability this worker really sleeps before acking a job (deterministic in -seed; pair with fedserver -pipeline -straggler so admission anticipates the lag)")
+		straggleMax  = flag.Int("straggle-max", 1, "maximum lag in rounds for a straggling job (match fedserver -staleness)")
+		straggleUnit = flag.Duration("straggle-unit", 200*time.Millisecond, "real wall-clock sleep per lag round")
 	)
 	flag.Parse()
 	if *pprof != "" {
@@ -91,6 +99,23 @@ func run() error {
 			return err
 		}
 		ex.ExpectCodec = *codec
+	}
+	if *straggle > 0 {
+		// The straggler sleep is stop-aware: the first SIGINT/SIGTERM cancels
+		// any in-progress (possibly many-second) simulated lag immediately —
+		// a dead coordinator must not leave this worker sleeping out a delay
+		// nobody is waiting for — and a second signal kills the process as
+		// usual (signal.Stop restores the default handler).
+		stop := make(chan struct{})
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			close(stop)
+			signal.Stop(sigs)
+		}()
+		sleep := fl.StragglerSleep(*seed, *straggle, *straggleMax, *straggleUnit)
+		ex.Straggle = func(spec fl.JobSpec) { sleep(stop, spec.Round, spec) }
 	}
 
 	w, err := transport.Dial(*addr, *id)

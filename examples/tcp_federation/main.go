@@ -92,7 +92,7 @@ func run() error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := worker(coord.Addr(), id, family, len(domains)); err != nil {
+			if err := worker(coord.Addr(), id, family, len(domains), nil); err != nil {
 				fmt.Fprintf(os.Stderr, "worker %d: %v\n", id, err)
 			}
 		}(id)
@@ -165,7 +165,10 @@ func run() error {
 	}
 	fmt.Println("delta-encoded networked run and in-process run are bit-identical")
 
-	return runAsync(family, domains)
+	if err := runAsync(family, domains); err != nil {
+		return err
+	}
+	return runPipelined(family, domains, tcpMat)
 }
 
 // runAsync reruns the federation over TCP with bounded-staleness rounds:
@@ -181,7 +184,7 @@ func runAsync(family *data.Family, domains []string) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := worker(coord.Addr(), id, family, len(domains)); err != nil {
+			if err := worker(coord.Addr(), id, family, len(domains), nil); err != nil {
 				fmt.Fprintf(os.Stderr, "async worker %d: %v\n", id, err)
 			}
 		}(id)
@@ -223,14 +226,148 @@ func runAsync(family *data.Family, domains []string) error {
 	return nil
 }
 
+// runPipelined demonstrates pipelined round execution. First pass: the
+// Pipeline at staleness 0 — dispatch and collection are decoupled
+// internally, but every result is awaited in its own round, so the matrix
+// must match the barrier run bit for bit. Second pass: staleness window
+// S=1 with one genuinely slow worker (a real wall-clock sleep before each
+// of its acks); the coordinator dispatches round r+1 while the straggler's
+// round-r acks are still in flight, and the per-round overlap ratio shows
+// how much collection time ran concurrently with later rounds.
+func runPipelined(family *data.Family, domains []string, barrier *metrics.Matrix) error {
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	for id := 0; id < numWorkers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := worker(coord.Addr(), id, family, len(domains), nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pipelined worker %d: %v\n", id, err)
+			}
+		}(id)
+	}
+	if err := coord.Accept(numWorkers, 10*time.Second); err != nil {
+		return err
+	}
+
+	alg, err := newAlg(family, len(domains))
+	if err != nil {
+		return err
+	}
+	pl, err := transport.NewPipeline(coord, alg)
+	if err != nil {
+		return err
+	}
+	if err := pl.UseCodec("delta"); err != nil {
+		return err
+	}
+	eng, err := fl.NewEngineWithRunner(config(), alg, &fl.AsyncRunner{Inner: pl, Staleness: 0})
+	if err != nil {
+		return err
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		return err
+	}
+	_ = pl.Close()
+	if err := coord.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipelined shutdown:", err)
+	}
+	wg.Wait()
+	for t := range mat.A {
+		for i := 0; i <= t; i++ {
+			if mat.A[t][i] != barrier.A[t][i] {
+				return fmt.Errorf("pipelined S=0 diverged at [%d][%d]: %v vs barrier %v",
+					t, i, mat.A[t][i], barrier.A[t][i])
+			}
+		}
+	}
+	fmt.Println("\npipelined run at staleness 0 is bit-identical to the barrier run")
+
+	// Overlap pass: worker 1 really sleeps before each ack, and the
+	// coordinator's Delay policy marks every one of its results as lagging
+	// one round — they stay in flight on the wire while the next round
+	// dispatches, and are awaited only at admission.
+	coord2, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coord2.Close()
+	var wg2 sync.WaitGroup
+	for id := 0; id < numWorkers; id++ {
+		wg2.Add(1)
+		go func(id int) {
+			defer wg2.Done()
+			var straggle func(fl.JobSpec)
+			if id == 1 {
+				straggle = func(fl.JobSpec) { time.Sleep(60 * time.Millisecond) }
+			}
+			if err := worker(coord2.Addr(), id, family, len(domains), straggle); err != nil {
+				fmt.Fprintf(os.Stderr, "overlap worker %d: %v\n", id, err)
+			}
+		}(id)
+	}
+	if err := coord2.Accept(numWorkers, 10*time.Second); err != nil {
+		return err
+	}
+	alg2, err := newAlg(family, len(domains))
+	if err != nil {
+		return err
+	}
+	pl2, err := transport.NewPipeline(coord2, alg2)
+	if err != nil {
+		return err
+	}
+	if err := pl2.UseCodec("delta"); err != nil {
+		return err
+	}
+	pl2.OnRound = func(rs transport.RoundStats) {
+		fmt.Printf("  [pipe] task %d round %d: dispatch %.1fms, last ack %.1fms, overlap %.0f%%\n",
+			rs.Task, rs.Round, float64(rs.DispatchNanos)/1e6, float64(rs.LastAckNanos)/1e6,
+			rs.OverlapRatio()*100)
+	}
+	async := &fl.AsyncRunner{
+		Inner:     pl2,
+		Staleness: 1,
+		// Worker assignment is round-robin by job index, so odd-indexed jobs
+		// land on the slow worker; lag every result one round so none is
+		// awaited before its computation had a full extra round of wall
+		// clock to finish in the background.
+		Delay: func(round int, spec fl.JobSpec) int { return 1 },
+	}
+	eng2, err := fl.NewEngineWithRunner(config(), alg2, async)
+	if err != nil {
+		return err
+	}
+	mat2, err := eng2.Run(family, domains)
+	if err != nil {
+		return err
+	}
+	_ = pl2.Close()
+	if err := coord2.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "overlap shutdown:", err)
+	}
+	wg2.Wait()
+	fmt.Printf("pipelined S=1 rerun with a slow worker (%d results dropped):\n", async.Dropped())
+	printMatrix("pipelined S=1 over TCP", mat2)
+	fmt.Println("every result lagged one round, so collection overlapped the next dispatch instead of blocking it")
+	return nil
+}
+
 func printMatrix(label string, mat *metrics.Matrix) {
 	fmt.Printf("accuracy matrix %s:\n", label)
 	mat.FprintTriangle(os.Stdout)
 }
 
 // worker is one federation participant machine: dial, construct the same
-// method with the same construction seed, and serve job broadcasts.
-func worker(addr string, id int, family *data.Family, tasks int) error {
+// method with the same construction seed, and serve job broadcasts. A
+// non-nil straggle runs before each ack — the real-slowness simulation of
+// the pipelined demo.
+func worker(addr string, id int, family *data.Family, tasks int, straggle func(fl.JobSpec)) error {
 	alg, err := newAlg(family, tasks)
 	if err != nil {
 		return err
@@ -239,6 +376,7 @@ func worker(addr string, id int, family *data.Family, tasks int) error {
 	if err != nil {
 		return err
 	}
+	ex.Straggle = straggle
 	w, err := transport.Dial(addr, id)
 	if err != nil {
 		return err

@@ -17,26 +17,172 @@ import (
 	"reffil/internal/tensor"
 )
 
+// Accumulator is the streaming form of FedAvg aggregation: client updates
+// fold in one at a time as sum_m w_m * dict_m, and Finalize divides by the
+// weight total. The accumulator holds O(1) state dicts regardless of cohort
+// size — the running sums plus a reference to the first folded dict — which
+// is what lets the engine aggregate acks as they arrive instead of
+// buffering every selected client's full state until the round ends.
+//
+// Bit-identity contract: folding dicts 0..n-1 in order then finalizing is
+// exactly WeightedAverage(dicts, weights) — WeightedAverage is implemented
+// as this fold — so streaming and batch aggregation can never diverge. The
+// fold order must therefore be fixed (the engine folds in job order, never
+// arrival order).
+//
+// Unanimity short-circuit: a key on which every folded dict agrees bit for
+// bit finalizes to an exact copy of that value instead of the accumulated
+// sum — the weighted average of identical values is exactly that value,
+// while the floating-point normalization would perturb it by an ulp per
+// round. This keeps frozen parameters bit-stable across rounds (prompt
+// methods freeze the whole backbone), which is both mathematically exact
+// and what lets the delta wire codec skip them. The witness is maintained
+// per key: while a key is unanimous no sum is materialized at all; the
+// first fold that disagrees allocates the accumulator and replays the
+// earlier (bit-identical) contributions from the retained first dict.
+//
+// Folded dicts are borrowed, not copied: the accumulator retains the first
+// folded dict until Finalize, and every folded dict must stay immutable for
+// the accumulator's lifetime (engine results are fresh per job, so this
+// costs nothing in practice).
+//
+// An Accumulator is not safe for concurrent Folds; the per-key work inside
+// one Fold is sharded across internal/parallel exactly like the batch path.
+type Accumulator struct {
+	names     []string // sorted key shard layout, fixed by the first fold
+	first     map[string]*tensor.Tensor
+	accs      []*tensor.Tensor // per key; nil while the key is unanimous
+	unanimous []bool
+	errs      []error
+	weights   []float64 // per folded dict, for unanimity-break replay
+	total     float64
+	elems     int // total elements across keys, for the chunk grain
+}
+
+// NewAccumulator returns an empty streaming FedAvg fold.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Folded reports how many client updates have been folded in.
+func (a *Accumulator) Folded() int { return len(a.weights) }
+
+// Fold adds one client's update with the given positive FedAvg weight.
+// Validation matches WeightedAverage: the first folded dict fixes the key
+// set and shapes, and every later dict must agree exactly.
+func (a *Accumulator) Fold(dict map[string]*tensor.Tensor, w float64) error {
+	n := len(a.weights)
+	if w <= 0 {
+		return fmt.Errorf("fl: non-positive aggregation weight %v for client %d", w, n)
+	}
+	if a.first == nil {
+		a.names = make([]string, 0, len(dict))
+		for name, t := range dict {
+			a.names = append(a.names, name)
+			a.elems += t.Size()
+		}
+		sort.Strings(a.names)
+		a.first = dict
+		a.accs = make([]*tensor.Tensor, len(a.names))
+		a.unanimous = make([]bool, len(a.names))
+		for k := range a.unanimous {
+			a.unanimous[k] = true
+		}
+		a.errs = make([]error, len(a.names))
+	} else if len(dict) != len(a.first) {
+		return fmt.Errorf("fl: client %d update has %d entries, want %d", n, len(dict), len(a.first))
+	}
+
+	perKeyOps := 1
+	if len(a.names) > 0 {
+		perKeyOps = a.elems / len(a.names)
+	}
+	grain := parallel.GrainForCost(perKeyOps, parallel.DefaultChunkOps)
+	parallel.For(len(a.names), grain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			name := a.names[k]
+			first := a.first[name]
+			src, ok := dict[name]
+			if !ok {
+				a.errs[k] = fmt.Errorf("fl: client %d update missing entry %q", n, name)
+				continue
+			}
+			if src.Size() != first.Size() {
+				a.errs[k] = fmt.Errorf("fl: client %d entry %q has %d elements, want %d", n, name, src.Size(), first.Size())
+				continue
+			}
+			if a.unanimous[k] {
+				if n == 0 || src.EqualBits(first) {
+					continue // still unanimous: no sum materialized
+				}
+				// First disagreement: materialize the sum and replay the
+				// earlier contributions. Each was bit-identical to first, so
+				// adding w_j*first in fold order reproduces the exact
+				// accumulation a non-unanimous key would have seen.
+				a.unanimous[k] = false
+				acc := tensor.New(first.Shape()...)
+				for j := 0; j < n; j++ {
+					acc.AddScaledInPlace(a.weights[j], first)
+				}
+				a.accs[k] = acc
+			}
+			a.accs[k].AddScaledInPlace(w, src)
+		}
+	})
+	var firstErr error
+	for k, err := range a.errs {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		a.errs[k] = nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	a.weights = append(a.weights, w)
+	a.total += w
+	return nil
+}
+
+// Finalize normalizes the fold into the aggregate dict: accumulated keys
+// are scaled by 1/total in place, unanimous keys come back as exact copies
+// of the agreed value. The accumulator must not be reused afterwards (the
+// returned tensors are its accumulators).
+func (a *Accumulator) Finalize() (map[string]*tensor.Tensor, error) {
+	if len(a.weights) == 0 {
+		return nil, fmt.Errorf("fl: no client updates to aggregate")
+	}
+	inv := 1 / a.total
+	perKeyOps := 1
+	if len(a.names) > 0 {
+		perKeyOps = a.elems / len(a.names)
+	}
+	grain := parallel.GrainForCost(perKeyOps, parallel.DefaultChunkOps)
+	parallel.For(len(a.names), grain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if a.unanimous[k] {
+				a.accs[k] = a.first[a.names[k]].Clone()
+			} else {
+				a.accs[k].ScaleInPlace(inv)
+			}
+		}
+	})
+	out := make(map[string]*tensor.Tensor, len(a.names))
+	for k, name := range a.names {
+		out[name] = a.accs[k]
+	}
+	return out, nil
+}
+
 // WeightedAverage computes the FedAvg aggregate of client state dicts:
 // sum_m (w_m / sum w) * dict_m, entry-wise. All dicts must share the same
 // keys and shapes; weights must be positive.
 //
-// Keys on which every client agrees bit for bit short-circuit to a copy of
-// that unanimous value: the weighted average of identical values is exactly
-// that value, while the floating-point accumulation would perturb it by an
-// ulp per round (the normalized weights do not sum to exactly 1). This
-// keeps frozen parameters and buffers — prompt methods freeze the whole
-// backbone — bit-stable across rounds, which is both mathematically exact
-// and what lets the delta-broadcast wire codec (internal/fl/wire) skip
-// them.
-//
-// The state dict's keys are sharded across internal/parallel: entries are
-// independent, so each worker reduces a contiguous slice of the sorted key
-// list. Within one entry the accumulation order over clients is fixed
-// (client 0, 1, 2, ... — selection order), so results are bit-identical to
-// the serial reduction at any worker count. This is the multi-node hot
-// path: a networked round aggregates full state dicts from every selected
-// client.
+// It is the batch form of Accumulator: dicts fold in order 0, 1, 2, ...
+// (selection order) and the sum is normalized once at the end, so the
+// result is bit-identical to the streaming fold at any worker count — the
+// per-key accumulation order over clients is fixed, and the key shards
+// internal/parallel distributes are independent. Keys on which every client
+// agrees bit for bit short-circuit to an exact copy of the unanimous value
+// (see Accumulator).
 func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[string]*tensor.Tensor, error) {
 	if len(dicts) == 0 {
 		return nil, fmt.Errorf("fl: no client updates to aggregate")
@@ -44,84 +190,11 @@ func WeightedAverage(dicts []map[string]*tensor.Tensor, weights []float64) (map[
 	if len(dicts) != len(weights) {
 		return nil, fmt.Errorf("fl: %d dicts but %d weights", len(dicts), len(weights))
 	}
-	total := 0.0
-	for i, w := range weights {
-		if w <= 0 {
-			return nil, fmt.Errorf("fl: non-positive aggregation weight %v for client %d", w, i)
-		}
-		total += w
-	}
-	// Fix the shard layout before the fan-out: sorted keys, per-client
-	// scale factors, and the per-key element budget for the chunk grain.
-	names := make([]string, 0, len(dicts[0]))
-	elems := 0
-	for name, first := range dicts[0] {
-		names = append(names, name)
-		elems += first.Size()
-	}
-	sort.Strings(names)
-	scales := make([]float64, len(weights))
-	for i, w := range weights {
-		scales[i] = w / total
-	}
-
-	accs := make([]*tensor.Tensor, len(names))
-	errs := make([]error, len(names))
-	perKeyOps := 1
-	if len(names) > 0 {
-		perKeyOps = elems / len(names) * len(dicts)
-	}
-	grain := parallel.GrainForCost(perKeyOps, parallel.DefaultChunkOps)
-	parallel.For(len(names), grain, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			name := names[k]
-			first := dicts[0][name]
-			// Validate every client's entry and test unanimity in one pass.
-			// For trained keys the comparison exits on the first differing
-			// element, so the scan is nearly free where it does not pay off.
-			unanimous := true
-			for i, d := range dicts {
-				src, ok := d[name]
-				if !ok {
-					errs[k] = fmt.Errorf("fl: client %d update missing entry %q", i, name)
-					break
-				}
-				if src.Size() != first.Size() {
-					errs[k] = fmt.Errorf("fl: client %d entry %q has %d elements, want %d", i, name, src.Size(), first.Size())
-					break
-				}
-				if i > 0 && unanimous {
-					unanimous = src.EqualBits(first)
-				}
-			}
-			if errs[k] != nil {
-				continue
-			}
-			if unanimous {
-				accs[k] = first.Clone()
-				continue
-			}
-			acc := tensor.New(first.Shape()...)
-			for i, d := range dicts {
-				acc.AddScaledInPlace(scales[i], d[name])
-			}
-			accs[k] = acc
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
+	acc := NewAccumulator()
+	for i, d := range dicts {
+		if err := acc.Fold(d, weights[i]); err != nil {
 			return nil, err
 		}
 	}
-	out := make(map[string]*tensor.Tensor, len(names))
-	for k, name := range names {
-		out[name] = accs[k]
-	}
-	// Reject dicts with extra keys relative to the first.
-	for i, d := range dicts[1:] {
-		if len(d) != len(dicts[0]) {
-			return nil, fmt.Errorf("fl: client %d update has %d entries, want %d", i+1, len(d), len(dicts[0]))
-		}
-	}
-	return out, nil
+	return acc.Finalize()
 }

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // TaggedResult is one result admitted into an asynchronous round, carrying
@@ -92,87 +93,163 @@ type AsyncRunner struct {
 }
 
 // pendingResult is a trained result withheld by the Delay policy, waiting
-// for its admission round.
+// for its admission round. Over a barrier runner res holds the trained
+// result; over a Dispatcher the result is still in flight on the transport
+// (inflight set) and is awaited at admission time — that wall-clock overlap
+// is the whole point of the pipelined path.
 type pendingResult struct {
 	due        int
 	origin     int
+	index      int // position in the origin round's job list
 	clientID   int
 	baseWeight float64
+	inflight   bool
 	res        Result
 }
 
-// RunRound implements StalenessRunner: train round's jobs on Inner, admit
-// every in-flight result due by this round (all of them under drain), and
-// queue the rest. See StalenessRunner for the ordering and boundary
-// contract.
+// StreamStalenessRunner extends StalenessRunner with a streaming admission
+// path: instead of buffering the round's admitted results into a slice,
+// RunRoundStream hands each one to admit as it is settled — in the same
+// (Origin, job-order) sequence RunRound would return — so the engine can
+// fold it straight into the streaming FedAvg Accumulator and hold O(1)
+// dicts. An error from admit aborts the round.
+type StreamStalenessRunner interface {
+	StalenessRunner
+	RunRoundStream(task, round int, jobs []Job, drain bool, admit func(TaggedResult) error) error
+}
+
+// RunRound implements StalenessRunner by collecting RunRoundStream's
+// admissions into a slice. See StalenessRunner for the ordering and
+// boundary contract.
 func (a *AsyncRunner) RunRound(task, round int, jobs []Job, drain bool) ([]TaggedResult, error) {
+	var admitted []TaggedResult
+	err := a.RunRoundStream(task, round, jobs, drain, func(tr TaggedResult) error {
+		admitted = append(admitted, tr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return admitted, nil
+}
+
+// RunRoundStream implements StreamStalenessRunner: execute round's jobs on
+// Inner, admit every in-flight result due by this round (all of them under
+// drain), and queue the rest.
+//
+// When Inner is a Dispatcher (the pipelined transport), the round's jobs
+// are dispatched without a barrier: results the Delay policy marks as
+// lagging are left in flight on the transport — the worker computes them
+// while later rounds dispatch and aggregate — and are awaited only when
+// their admission round comes up. Over a plain Runner the jobs execute
+// synchronously and lagging results are queued locally, wall-clock
+// barriers intact (the pre-pipelining simulation semantics). Both paths
+// admit the same results in the same order with the same weights.
+//
+// After any error the runner's pending bookkeeping is unspecified; the
+// engine treats a round error as fatal for the run.
+func (a *AsyncRunner) RunRoundStream(task, round int, jobs []Job, drain bool, admit func(TaggedResult) error) error {
 	if a.Inner == nil {
-		return nil, fmt.Errorf("fl: async runner has no inner runner")
+		return fmt.Errorf("fl: async runner has no inner runner")
 	}
 	if a.Staleness < 0 {
-		return nil, fmt.Errorf("fl: staleness bound must be non-negative, got %d", a.Staleness)
+		return fmt.Errorf("fl: staleness bound must be non-negative, got %d", a.Staleness)
 	}
 	if task != a.task {
 		// The drain at each task's last round guarantees an empty queue
 		// here; a leftover would aggregate one task's update into another.
 		if len(a.pending) > 0 {
-			return nil, fmt.Errorf("fl: %d results pending across task boundary %d -> %d", len(a.pending), a.task, task)
+			return fmt.Errorf("fl: %d results pending across task boundary %d -> %d", len(a.pending), a.task, task)
 		}
 		a.task = task
 	}
 
-	results, err := a.Inner.Run(jobs)
-	if err != nil {
-		return nil, err
-	}
-	if len(results) != len(jobs) {
-		return nil, fmt.Errorf("fl: inner runner returned %d results for %d jobs", len(results), len(jobs))
+	dp, pipelined := a.Inner.(Dispatcher)
+	var results []Result
+	if pipelined {
+		if err := dp.Dispatch(task, round, jobs); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		results, err = a.Inner.Run(jobs)
+		if err != nil {
+			return err
+		}
+		if len(results) != len(jobs) {
+			return fmt.Errorf("fl: inner runner returned %d results for %d jobs", len(results), len(jobs))
+		}
 	}
 
 	// Older provenance aggregates first: the pending queue is appended in
 	// (origin, job-order) and filtering preserves that order, and every
 	// queued result predates this round's, so queue-then-current is the
-	// documented (Origin, job-order) admission order.
-	var admitted []TaggedResult
+	// documented (Origin, job-order) admission order. In-flight pipelined
+	// results are awaited here — after this round's dispatch, so the
+	// transport overlaps the wait with the new round's training.
 	keep := a.pending[:0]
 	for _, p := range a.pending {
 		if drain || p.due <= round {
-			admitted = append(admitted, a.admit(p, round))
+			if p.inflight {
+				res, err := dp.Await(p.origin, p.index)
+				if err != nil {
+					return err
+				}
+				p.res, p.inflight = res, false
+			}
+			if err := admit(a.admit(p, round)); err != nil {
+				return err
+			}
 		} else {
 			keep = append(keep, p)
 		}
 	}
 	a.pending = keep
 
-	for i, res := range results {
+	for i := range jobs {
 		d := 0
 		if a.Delay != nil {
 			d = a.Delay(round, jobs[i].Spec)
 		}
+		p := pendingResult{
+			origin:     round,
+			index:      i,
+			clientID:   jobs[i].Spec.ClientID,
+			baseWeight: jobs[i].Weight,
+		}
 		if drain || d <= 0 {
 			// The last round of a task has no later round to lag into, so
 			// the window closes: delays are void and the result is fresh.
-			admitted = append(admitted, a.admit(pendingResult{
-				origin:     round,
-				clientID:   jobs[i].Spec.ClientID,
-				baseWeight: jobs[i].Weight,
-				res:        res,
-			}, round))
+			if pipelined {
+				res, err := dp.Await(round, i)
+				if err != nil {
+					return err
+				}
+				p.res = res
+			} else {
+				p.res = results[i]
+			}
+			if err := admit(a.admit(p, round)); err != nil {
+				return err
+			}
 			continue
 		}
 		if d > a.Staleness {
 			a.dropped++ // beyond the bound: discarded like a dropout
+			if pipelined {
+				dp.Discard(round, i)
+			}
 			continue
 		}
-		a.pending = append(a.pending, pendingResult{
-			due:        round + d,
-			origin:     round,
-			clientID:   jobs[i].Spec.ClientID,
-			baseWeight: jobs[i].Weight,
-			res:        res,
-		})
+		p.due = round + d
+		if pipelined {
+			p.inflight = true
+		} else {
+			p.res = results[i]
+		}
+		a.pending = append(a.pending, p)
 	}
-	return admitted, nil
+	return nil
 }
 
 // admit stamps a pending result's provenance and discounted weight for
@@ -231,7 +308,47 @@ func StragglerDelay(seed int64, prob float64, maxDelay int) func(round int, spec
 	}
 }
 
+// SleepUnlessStopped sleeps for d, returning true after the full duration
+// or false immediately when stop closes first. A nil stop never fires, and
+// a non-positive d returns true without sleeping.
+func SleepUnlessStopped(stop <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// StragglerSleep builds the worker-side twin of StragglerDelay: the same
+// deterministic (seed, round, client) decision, but expressed as real
+// wall-clock sleep of delay×unit instead of a round-admission lag — the
+// straggler simulation for pipelined transports, where slowness is
+// physical. Coordinator Delay policy and worker sleep built from the same
+// (seed, prob, maxDelay) agree on exactly which jobs lag and by how many
+// rounds, so admission anticipates the actual slowness.
+//
+// The sleep is stop-aware (SleepUnlessStopped): a worker whose coordinator
+// died mid-round cancels the remaining delay instead of sleeping it out.
+// The returned function reports whether the sleep ran to completion.
+func StragglerSleep(seed int64, prob float64, maxDelay int, unit time.Duration) func(stop <-chan struct{}, round int, spec JobSpec) bool {
+	delay := StragglerDelay(seed, prob, maxDelay)
+	return func(stop <-chan struct{}, round int, spec JobSpec) bool {
+		d := delay(round, spec)
+		if d <= 0 {
+			return true
+		}
+		return SleepUnlessStopped(stop, time.Duration(d)*unit)
+	}
+}
+
 var (
-	_ Runner          = (*AsyncRunner)(nil)
-	_ StalenessRunner = (*AsyncRunner)(nil)
+	_ Runner                = (*AsyncRunner)(nil)
+	_ StalenessRunner       = (*AsyncRunner)(nil)
+	_ StreamStalenessRunner = (*AsyncRunner)(nil)
 )

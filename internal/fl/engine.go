@@ -390,28 +390,68 @@ func (e *Engine) runRound(t, r int) error {
 		return nil
 	}
 
-	// Phase 2 (parallel, possibly remote): train each participant on its
-	// own replica.
-	results, err := e.runner.Run(jobs)
-	if err != nil {
-		return err
-	}
-	if len(results) != len(jobs) {
-		return fmt.Errorf("fl: runner returned %d results for %d jobs", len(results), len(jobs))
-	}
-
-	// Phase 3 (serial): aggregate in selection order and run server hooks.
-	dicts := make([]map[string]*tensor.Tensor, len(results))
-	weights := make([]float64, len(jobs))
+	// Phase 2+3 interleaved where the runner can stream (parallel training,
+	// serial folding): each completed result folds into the streaming FedAvg
+	// accumulator the moment its job-order turn comes up, so the engine
+	// holds the running sums plus only the results that completed out of
+	// order — not every selected client's full dict until the round ends.
+	// The fold order is job order, never arrival order, which is what keeps
+	// streaming aggregation bit-identical to the batch WeightedAverage.
+	acc := NewAccumulator()
 	var uploads []Upload
-	for i, res := range results {
-		dicts[i] = res.Dict
-		weights[i] = jobs[i].Weight
+	fold := func(i int, res Result) error {
+		if err := acc.Fold(res.Dict, jobs[i].Weight); err != nil {
+			return fmt.Errorf("fl: aggregating round %d: %w", r, err)
+		}
 		if res.Upload != nil {
 			uploads = append(uploads, res.Upload)
 		}
+		return nil
 	}
-	return e.aggregate(t, r, dicts, weights, uploads)
+	if er, ok := e.runner.(EachRunner); ok {
+		next := 0
+		buffered := make(map[int]Result)
+		err := er.RunEach(jobs, func(i int, res Result) error {
+			if i != next {
+				buffered[i] = res
+				return nil
+			}
+			if err := fold(i, res); err != nil {
+				return err
+			}
+			for next++; ; next++ {
+				res, ok := buffered[next]
+				if !ok {
+					break
+				}
+				delete(buffered, next)
+				if err := fold(next, res); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if next != len(jobs) {
+			return fmt.Errorf("fl: runner completed %d of %d jobs", next, len(jobs))
+		}
+	} else {
+		results, err := e.runner.Run(jobs)
+		if err != nil {
+			return err
+		}
+		if len(results) != len(jobs) {
+			return fmt.Errorf("fl: runner returned %d results for %d jobs", len(results), len(jobs))
+		}
+		for i, res := range results {
+			if err := fold(i, res); err != nil {
+				return err
+			}
+		}
+	}
+	return e.install(t, r, acc, uploads)
 }
 
 // roundJobs is round phase 1 (serial): fix the round's participant set and
@@ -447,34 +487,50 @@ func (e *Engine) roundJobs(t, r int) []Job {
 // admits nothing (all results lagging) leaves the global untouched, like a
 // round where every client dropped out.
 func (e *Engine) runRoundAsync(sr StalenessRunner, t, r int, jobs []Job) error {
-	admitted, err := sr.RunRound(t, r, jobs, r == e.cfg.Rounds-1)
-	if err != nil {
-		return err
-	}
-	if len(admitted) == 0 {
-		return nil
-	}
-	dicts := make([]map[string]*tensor.Tensor, len(admitted))
-	weights := make([]float64, len(admitted))
+	acc := NewAccumulator()
 	var uploads []Upload
-	for i, tr := range admitted {
+	admit := func(tr TaggedResult) error {
 		if tr.Origin < 0 || tr.Origin > r {
 			return fmt.Errorf("fl: round %d admitted a result from round %d", r, tr.Origin)
 		}
-		dicts[i] = tr.Result.Dict
-		weights[i] = tr.Weight
+		if err := acc.Fold(tr.Result.Dict, tr.Weight); err != nil {
+			return fmt.Errorf("fl: aggregating round %d: %w", r, err)
+		}
 		if tr.Result.Upload != nil {
 			uploads = append(uploads, tr.Result.Upload)
 		}
+		return nil
 	}
-	return e.aggregate(t, r, dicts, weights, uploads)
+	drain := r == e.cfg.Rounds-1
+	// Prefer the streaming admission path: admitted results fold into the
+	// accumulator one at a time, in the runner's (Origin, job-order)
+	// admission order, instead of buffering the whole admitted set.
+	if ssr, ok := sr.(StreamStalenessRunner); ok {
+		if err := ssr.RunRoundStream(t, r, jobs, drain, admit); err != nil {
+			return err
+		}
+	} else {
+		admitted, err := sr.RunRound(t, r, jobs, drain)
+		if err != nil {
+			return err
+		}
+		for _, tr := range admitted {
+			if err := admit(tr); err != nil {
+				return err
+			}
+		}
+	}
+	if acc.Folded() == 0 {
+		return nil
+	}
+	return e.install(t, r, acc, uploads)
 }
 
-// aggregate is round phase 3 (serial): FedAvg the updates in the order
-// given, install the aggregate into the global model, and run the method's
+// install is round phase 3's tail (serial): finalize the streaming FedAvg
+// fold, install the aggregate into the global model, and run the method's
 // server hook.
-func (e *Engine) aggregate(t, r int, dicts []map[string]*tensor.Tensor, weights []float64, uploads []Upload) error {
-	avg, err := WeightedAverage(dicts, weights)
+func (e *Engine) install(t, r int, acc *Accumulator, uploads []Upload) error {
+	avg, err := acc.Finalize()
 	if err != nil {
 		return fmt.Errorf("fl: aggregating round %d: %w", r, err)
 	}

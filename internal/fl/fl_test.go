@@ -76,8 +76,9 @@ func TestWeightedAverageShardedMatchesSerial(t *testing.T) {
 	for name, first := range dicts[0] {
 		acc := tensor.New(first.Shape()...)
 		for c, d := range dicts {
-			acc.AddScaledInPlace(weights[c]/total, d[name])
+			acc.AddScaledInPlace(weights[c], d[name])
 		}
+		acc.ScaleInPlace(1 / total)
 		want[name] = acc
 	}
 	got, err := WeightedAverage(dicts, weights)

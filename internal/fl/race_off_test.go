@@ -1,0 +1,8 @@
+//go:build !race
+
+package fl
+
+// raceEnabled reports whether the race detector instruments this build.
+// The AllocsPerRun gates are calibrated for uninstrumented builds — the
+// race runtime adds its own per-call allocations.
+const raceEnabled = false

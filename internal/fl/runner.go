@@ -51,6 +51,41 @@ type Runner interface {
 	Run(jobs []Job) ([]Result, error)
 }
 
+// EachRunner is a Runner that can additionally stream per-job results as
+// they complete (LocalRunner.RunEach, the transport Runner). The engine
+// prefers it over Run for synchronous rounds: acks fold into the streaming
+// FedAvg Accumulator as they arrive instead of buffering every client's
+// full state dict until the round ends.
+type EachRunner interface {
+	Runner
+	// RunEach fires done(i, results[i]) once per job, in completion order
+	// (not job order); done calls are serialized. An error from done cancels
+	// the remaining jobs like a training error.
+	RunEach(jobs []Job, done func(i int, res Result) error) error
+}
+
+// Dispatcher is a Runner whose fan-out and collection are decoupled — the
+// transport Pipeline. Dispatch sends a round's jobs without waiting for
+// results, so the AsyncRunner can start round r+1 on idle workers while
+// round r's stragglers are still training; Await blocks until one job's
+// result arrives. The contract:
+//
+//   - Dispatch(task, round, jobs) returns as soon as the round's broadcasts
+//     are on the wire; at most one Dispatch per (task, round);
+//   - every dispatched job must be settled exactly once, by Await or
+//     Discard — Await(round, i) blocks until job i of that round's dispatch
+//     completes and consumes the result;
+//   - Discard(round, i) drops the result (a staleness-bound drop) without
+//     blocking, whether or not it has arrived yet.
+//
+// Run remains the plain barrier form (Dispatch + Await all, in job order).
+type Dispatcher interface {
+	Runner
+	Dispatch(task, round int, jobs []Job) error
+	Await(round, index int) (Result, error)
+	Discard(round, index int)
+}
+
 // WireStater is implemented by algorithms whose LocalTrain reads
 // server-side state living outside Global()'s state dict — LwF's frozen
 // distillation teacher, EWC's consolidated Fisher/anchor maps, RefFiL's
@@ -311,4 +346,7 @@ func (lr *LocalRunner) RunEach(jobs []Job, done func(i int, res Result) error) e
 	return firstErr
 }
 
-var _ Runner = (*LocalRunner)(nil)
+var (
+	_ Runner     = (*LocalRunner)(nil)
+	_ EachRunner = (*LocalRunner)(nil)
+)

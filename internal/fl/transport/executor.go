@@ -7,6 +7,7 @@ import (
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
+	"reffil/internal/tensor"
 )
 
 // Executor is the worker side of a networked federation round: given a
@@ -49,10 +50,24 @@ type Executor struct {
 	// tracker is this worker's receive-side state machine: the state
 	// version/dict and payload version currently installed.
 	tracker wire.Tracker
+	// payload caches the wire-state bytes the live frame stream last loaded
+	// (payloadSet marks that any were). A replay broadcast may overwrite
+	// the algorithm's wire state with an origin round's payload; the cache
+	// is what restores the stream's state afterwards — wire.Tracker only
+	// retains the payload version, not the bytes.
+	payload    []byte
+	payloadSet bool
 	// ExpectCodec, when non-empty, pins the codec this worker accepts:
 	// state patches produced by any other codec are rejected (the
 	// fedworker -codec flag).
 	ExpectCodec string
+	// Straggle, when non-nil, runs before each job's ack is emitted — the
+	// worker-side straggler simulation (fl.StragglerSleep): a real
+	// wall-clock sleep that makes this worker's acks physically late, which
+	// is what the pipelined coordinator overlaps. Acks are serialized, so a
+	// straggling job delays every later ack of the same broadcast — the
+	// whole worker is slow, as a real straggler would be.
+	Straggle func(spec fl.JobSpec)
 }
 
 // NewExecutor builds an executor over the worker's algorithm instance.
@@ -81,6 +96,9 @@ func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
 	if err != nil {
 		return fmt.Errorf("broadcast codec: %w", err)
 	}
+	if b.Replay != nil {
+		return e.handleReplay(b, upCodec, emit)
+	}
 	stateChanged, payload, payloadChanged, err := e.tracker.Apply(&b.Frame)
 	if err != nil {
 		return fmt.Errorf("broadcast frame: %w", err)
@@ -98,10 +116,71 @@ func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
 		} else if len(payload) > 0 {
 			return fmt.Errorf("%s received %d bytes of wire state it cannot load", e.alg.Name(), len(payload))
 		}
+		e.payload, e.payloadSet = payload, true
 	}
+	return e.runJobs(b.Jobs, upCodec, e.tracker.Dict, emit)
+}
 
-	jobs := make([]fl.Job, len(b.Jobs))
-	for i, spec := range b.Jobs {
+// handleReplay executes a pipelined re-queue broadcast (Broadcast.Replay):
+// install the origin round's state out of band, train the jobs against it
+// with upload patches diffed against that same state, then restore the
+// live stream's state — the frame tracker and the coordinator's mirror
+// never saw the detour.
+func (e *Executor) handleReplay(b Broadcast, upCodec wire.Codec, emit func(JobResult) error) error {
+	dict, err := FromWire(b.Replay.State)
+	if err != nil {
+		return fmt.Errorf("replay state: %w", err)
+	}
+	if err := nn.LoadStateDict(e.alg.Global(), dict); err != nil {
+		return fmt.Errorf("installing replay state: %w", err)
+	}
+	ws, isWS := e.alg.(fl.WireStater)
+	if b.Replay.HasPayload {
+		if !isWS {
+			if len(b.Replay.Payload) > 0 {
+				return fmt.Errorf("%s received %d bytes of replay wire state it cannot load", e.alg.Name(), len(b.Replay.Payload))
+			}
+		} else {
+			// The restore target must exist before the overwrite: a worker
+			// that never loaded a stream payload restores its constructed
+			// wire state (EncodeWireState is deterministic, so the
+			// round-trip is exact).
+			if !e.payloadSet {
+				init, err := ws.EncodeWireState()
+				if err != nil {
+					return fmt.Errorf("snapshotting wire state for replay: %w", err)
+				}
+				e.payload, e.payloadSet = init, true
+			}
+			if err := ws.LoadWireState(b.Replay.Payload); err != nil {
+				return fmt.Errorf("installing replay wire state: %w", err)
+			}
+		}
+	}
+	jobErr := e.runJobs(b.Jobs, upCodec, dict, emit)
+	// Restore the stream's state even when a job failed: the error is
+	// reported on the final frame, and a recoverable coordinator must find
+	// this worker where the version stream says it is.
+	if e.tracker.Dict != nil {
+		if err := nn.LoadStateDict(e.alg.Global(), e.tracker.Dict); err != nil && jobErr == nil {
+			jobErr = fmt.Errorf("restoring stream state after replay: %w", err)
+		}
+	}
+	if b.Replay.HasPayload && isWS {
+		if err := ws.LoadWireState(e.payload); err != nil && jobErr == nil {
+			jobErr = fmt.Errorf("restoring wire state after replay: %w", err)
+		}
+	}
+	return jobErr
+}
+
+// runJobs materializes and trains the broadcast's job slice through the
+// local worker pool, emitting one ack per job in completion order. base is
+// the state dict upload patches diff against — the round's broadcast base,
+// or a replay's origin-round state.
+func (e *Executor) runJobs(specs []fl.JobSpec, upCodec wire.Codec, base map[string]*tensor.Tensor, emit func(JobResult) error) error {
+	jobs := make([]fl.Job, len(specs))
+	for i, spec := range specs {
 		ds, err := e.dataset(spec)
 		if err != nil {
 			return fmt.Errorf("job %d (client %d): %w", i, spec.ClientID, err)
@@ -114,15 +193,18 @@ func (e *Executor) Handle(b Broadcast, emit func(JobResult) error) error {
 	pool := &fl.LocalRunner{Alg: e.alg, Workers: e.workers}
 	// RunEach serializes done calls, so emit never runs concurrently.
 	return pool.RunEach(jobs, func(i int, res fl.Result) error {
+		if e.Straggle != nil {
+			e.Straggle(jobs[i].Spec)
+		}
 		jr := JobResult{Index: i}
-		if upCodec != nil && e.tracker.Dict != nil {
+		if upCodec != nil && base != nil {
 			// Diff the trained replica against the round's broadcast base —
 			// exactly the dict the coordinator mirrors for this worker once
 			// the round stream completes, so the patch reconstructs there
 			// bit for bit. A worker that somehow executes jobs with no
 			// installed state (nothing guarantees it today, but the
 			// fallback is cheap) uploads the full form instead.
-			p, err := upCodec.Encode(e.tracker.Dict, res.Dict)
+			p, err := upCodec.Encode(base, res.Dict)
 			if err != nil {
 				return fmt.Errorf("job %d upload state: %w", i, err)
 			}

@@ -1,0 +1,770 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"reffil/internal/fl"
+	"reffil/internal/fl/wire"
+	"reffil/internal/nn"
+	"reffil/internal/tensor"
+)
+
+// Pipeline is the pipelined transport runner (protocol v6): it decouples
+// the barrier Runner's dispatch and collection paths so the coordinator can
+// broadcast round r+1 while round r's acks are still in flight. Each worker
+// slot gets an independent send queue and a dedicated collector goroutine;
+// the wire Tracker mirror for a slot advances at send time — per slot, not
+// per completed round — so successive delta frames chain correctly even
+// when several rounds' acks are outstanding on one connection.
+//
+// Pipeline implements three engine-facing contracts:
+//
+//   - fl.Dispatcher: Dispatch fans a round out and returns as soon as the
+//     broadcasts are on the wire; Await blocks for one job's result;
+//     Discard drops one. This is the pipelined path: fl.AsyncRunner leaves
+//     results its Delay policy marks as lagging in flight on the transport
+//     — the worker computes them while later rounds dispatch — and awaits
+//     them only at their admission round, turning simulated staleness into
+//     real wall-clock overlap.
+//   - fl.Runner / fl.EachRunner: Run and RunEach are the barrier form —
+//     Dispatch immediately followed by Await of every job in order. Used
+//     directly (no AsyncRunner), Pipeline behaves exactly like the barrier
+//     Runner and stays bit-identical to the in-process engine.
+//
+// Re-queue-on-death must handle a dead worker holding jobs from several
+// live rounds: each queued batch remembers its origin round, and the
+// unfinished jobs re-queue on survivors as Replay broadcasts carrying the
+// origin round's retained state out of band (the survivor's own version
+// stream may already be past — or not yet at — that round). Replays do not
+// touch the survivor's tracker mirror.
+//
+// Determinism: job results are identified by (round, job index), and the
+// engine folds them in job-index order regardless of arrival order, so a
+// Pipeline run admits exactly the results a barrier run would, in the same
+// order, with the same bits — AsyncRunner{S:0} over a Pipeline matches the
+// synchronous local engine bit for bit.
+type Pipeline struct {
+	coord *Coordinator
+	alg   fl.Algorithm
+	// Requeue enables survivor re-queue of a dead worker's unfinished jobs
+	// (Replay broadcasts). When false, a worker death fails the run.
+	Requeue bool
+	// OnRound, when non-nil, receives each round's wire statistics once its
+	// last ack lands. Called from a collector goroutine, outside the
+	// pipeline's locks; rounds can complete out of dispatch order.
+	OnRound func(RoundStats)
+	// OnDispatch, when non-nil, fires after a round's broadcasts are all on
+	// the wire (tests use it to observe overlap deterministically).
+	OnDispatch func(task, round int)
+
+	// tmu guards enc, started, trackers and stats (same discipline as the
+	// barrier Runner). Never acquired while holding mu's critical work —
+	// the only nesting is mu→tmu in finishRound.
+	tmu      sync.Mutex
+	enc      *wire.Encoder
+	trackers map[int]*wire.Tracker
+	stats    Stats
+	started  bool
+
+	// mu guards the flight table, per-round state, per-slot queues and the
+	// fatal flag; cond (on mu) wakes Await when a flight settles.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	flights map[flightKey]*flight
+	rounds  map[int]*roundFlight
+	slots   map[int]*slotState
+	fatal   error
+	closed  bool
+	// startIn/startOut snapshot the coordinator's byte counters at the
+	// first dispatch, so Stats can report exact cumulative totals even
+	// though overlapping rounds make per-round byte splits approximate.
+	startIn, startOut int64
+	everStarted       bool
+}
+
+// flightKey identifies one dispatched job: its round and its index in that
+// round's job list.
+type flightKey struct{ round, index int }
+
+// flight is one dispatched job's settlement state.
+type flight struct {
+	res     fl.Result
+	done    bool
+	discard bool
+}
+
+// roundFlight is the coordinator-side state of one dispatched round, kept
+// until its last ack lands: the canonical state (for replays after worker
+// deaths), the wire-state payload, and the round's statistics. Memory is
+// bounded by the staleness window — at most S+1 rounds are in flight.
+type roundFlight struct {
+	task, round int
+	dict        map[string]*tensor.Tensor
+	payload     []byte
+	remaining   int
+	rs          RoundStats
+	start       time.Time
+	overlapFrom time.Time // zero until a later round dispatches
+	lastAck     time.Time
+}
+
+// batch is one broadcast's worth of jobs queued on a worker slot, FIFO: the
+// worker answers broadcasts in order, so the head batch is the one whose
+// acks arrive next.
+type batch struct {
+	round int
+	specs []fl.JobSpec
+	keys  []flightKey
+	base  map[string]*tensor.Tensor // upload-decode base for this broadcast
+	acked int
+}
+
+// slotState is one worker slot's send/collect machinery. sendMu serializes
+// enqueue+send pairs so wire order always matches queue order.
+type slotState struct {
+	sendMu     sync.Mutex
+	queue      []*batch
+	collecting bool
+	dead       bool
+}
+
+// NewPipeline wraps a coordinator and the engine's algorithm instance, like
+// NewRunner but for pipelined rounds. Re-queueing starts enabled.
+func NewPipeline(coord *Coordinator, alg fl.Algorithm) (*Pipeline, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("transport: pipeline needs a coordinator")
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("transport: pipeline needs an algorithm")
+	}
+	enc, err := wire.NewEncoder(wire.Full{})
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		coord:    coord,
+		alg:      alg,
+		Requeue:  true,
+		enc:      enc,
+		trackers: make(map[int]*wire.Tracker),
+		flights:  make(map[flightKey]*flight),
+		rounds:   make(map[int]*roundFlight),
+		slots:    make(map[int]*slotState),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p, nil
+}
+
+// UseCodec selects the broadcast codec by registry name (full|delta|topk),
+// before the first dispatch only — exactly like Runner.UseCodec.
+func (p *Pipeline) UseCodec(name string) error {
+	codec, err := wire.New(name)
+	if err != nil {
+		return err
+	}
+	enc, err := wire.NewEncoder(codec)
+	if err != nil {
+		return err
+	}
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if p.started {
+		return fmt.Errorf("transport: cannot switch codec after the first round")
+	}
+	p.enc = enc
+	return nil
+}
+
+// Codec returns the active codec's registry name.
+func (p *Pipeline) Codec() string {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	return p.enc.Codec().Name()
+}
+
+// Stats returns the cumulative wire accounting across completed rounds.
+// Byte totals are exact socket deltas since the first dispatch; the
+// per-round byte split in RoundStats is approximate under overlap (a
+// round's collection window carries other rounds' traffic too).
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	ever := p.everStarted
+	startIn, startOut := p.startIn, p.startOut
+	p.mu.Unlock()
+	p.tmu.Lock()
+	st := p.stats
+	p.tmu.Unlock()
+	if ever {
+		in, out := p.coord.BytesTransferred()
+		st.UploadBytes = in - startIn
+		st.BroadcastBytes = out - startOut
+	}
+	return st
+}
+
+// Close wakes every blocked Await with an error and stops the collectors
+// from reporting further deaths. Call it before Coordinator.Shutdown/Close
+// when tearing a run down.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// fail records the first fatal error and wakes every waiter. Callers must
+// hold mu.
+func (p *Pipeline) failLocked(err error) {
+	if p.fatal == nil {
+		p.fatal = err
+	}
+	p.cond.Broadcast()
+}
+
+// slotFor returns (creating if needed) slot's state. Callers must hold mu.
+func (p *Pipeline) slotFor(slot int) *slotState {
+	st, ok := p.slots[slot]
+	if !ok {
+		st = &slotState{}
+		p.slots[slot] = st
+	}
+	return st
+}
+
+// Dispatch implements fl.Dispatcher: build and send one broadcast per live
+// worker — every live slot gets a frame each round, idle ones a bare
+// KindNone, keeping all workers in lockstep with the version stream — and
+// return as soon as the sends complete. Results arrive asynchronously;
+// settle each job with Await or Discard.
+func (p *Pipeline) Dispatch(task, round int, jobs []fl.Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	var payload []byte
+	if ws, ok := p.alg.(fl.WireStater); ok {
+		var err error
+		payload, err = ws.EncodeWireState()
+		if err != nil {
+			return fmt.Errorf("transport: encoding wire state: %w", err)
+		}
+	}
+	p.tmu.Lock()
+	p.started = true
+	enc := p.enc
+	p.tmu.Unlock()
+	codecName := enc.Codec().Name()
+	// StateDict clones, so the canonical dict is immune to the engine
+	// mutating the global during later aggregation. The dict is retained in
+	// the roundFlight until the round's last ack: it is the replay state if
+	// a worker dies holding this round's jobs.
+	enc.SetRound(nn.StateDict(p.alg.Global()), payload)
+	start := time.Now()
+
+	live := p.coord.liveSlots()
+	if len(live) == 0 {
+		return fmt.Errorf("transport: no live workers to dispatch round %d", round)
+	}
+
+	// Register the round and its flights before anything hits the wire:
+	// acks can start arriving the moment the first send completes.
+	p.mu.Lock()
+	if p.fatal != nil {
+		err := p.fatal
+		p.mu.Unlock()
+		return err
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("transport: dispatch on a closed pipeline")
+	}
+	if _, dup := p.rounds[round]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("transport: round %d is already in flight", round)
+	}
+	if !p.everStarted {
+		p.everStarted = true
+		p.startIn, p.startOut = p.coord.BytesTransferred()
+	}
+	rf := &roundFlight{
+		task: task, round: round,
+		dict: enc.Dict(), payload: payload,
+		remaining: len(jobs),
+		rs:        RoundStats{Task: task, Round: round, Attempts: 1},
+		start:     start,
+	}
+	p.rounds[round] = rf
+	for i := range jobs {
+		p.flights[flightKey{round, i}] = &flight{}
+	}
+	// Every older round still collecting now overlaps this dispatch: the
+	// time from here to its last ack is wall-clock the barrier would have
+	// serialized.
+	for r0, old := range p.rounds {
+		if r0 != round && old.overlapFrom.IsZero() {
+			old.overlapFrom = start
+		}
+	}
+	p.mu.Unlock()
+
+	// Round-robin the jobs over the live slots; a job's position in its
+	// slot's spec list is the Index its ack will carry.
+	assign := make(map[int][]int, len(live))
+	for k := range jobs {
+		slot := live[k%len(live)]
+		assign[slot] = append(assign[slot], k)
+	}
+
+	// Build every slot's frame and advance its mirror at send time, under
+	// tmu so a concurrent worker death (dropTracker) cannot race the
+	// tracker structs. The mirror must advance now — not at round
+	// completion — because the next round's frame for this slot is built
+	// before this round's acks are in, and it must diff against the state
+	// the worker will hold after this frame.
+	type outbound struct {
+		slot  int
+		frame *wire.Frame
+		base  map[string]*tensor.Tensor
+		idxs  []int
+	}
+	outs := make([]outbound, 0, len(live))
+	p.tmu.Lock()
+	for _, slot := range live {
+		t, ok := p.trackers[slot]
+		if !ok {
+			t = &wire.Tracker{}
+			p.trackers[slot] = t
+		}
+		active := len(assign[slot]) > 0
+		f, err := enc.FrameFor(t, active)
+		if err != nil {
+			p.tmu.Unlock()
+			return fmt.Errorf("transport: encoding frame for worker %d: %w", slot, err)
+		}
+		base, err := uploadBase(enc, t, f)
+		if err != nil {
+			p.tmu.Unlock()
+			return fmt.Errorf("transport: previewing worker %d state: %w", slot, err)
+		}
+		if err := enc.AckDecoded(t, f, base); err != nil {
+			p.tmu.Unlock()
+			return fmt.Errorf("transport: advancing worker %d mirror: %w", slot, err)
+		}
+		outs = append(outs, outbound{slot: slot, frame: f, base: base, idxs: assign[slot]})
+	}
+	p.tmu.Unlock()
+
+	for _, o := range outs {
+		specs := make([]fl.JobSpec, len(o.idxs))
+		keys := make([]flightKey, len(o.idxs))
+		for k, ji := range o.idxs {
+			specs[k] = jobs[ji].Spec
+			keys[k] = flightKey{round, ji}
+		}
+		b := &batch{round: round, specs: specs, keys: keys, base: o.base}
+		bc := Broadcast{Task: task, Round: round, Frame: *o.frame, Codec: codecName, Jobs: specs}
+		p.mu.Lock()
+		switch o.frame.Kind {
+		case wire.KindFull:
+			rf.rs.FullFrames++
+			if codecName != wire.CodecFull {
+				rf.rs.Fallbacks++
+			}
+		case wire.KindDelta:
+			rf.rs.DeltaFrames++
+		case wire.KindNone:
+			rf.rs.IdleFrames++
+		}
+		p.mu.Unlock()
+		if err := p.sendBatch(o.slot, b, bc); err != nil {
+			// The slot died on send: its tracker is gone and its queued
+			// jobs (this batch included) re-queue on the survivors.
+			p.workerDied(o.slot)
+		}
+	}
+
+	p.mu.Lock()
+	rf.rs.DispatchNanos = time.Since(start).Nanoseconds()
+	err := p.fatal
+	p.mu.Unlock()
+	if p.OnDispatch != nil && err == nil {
+		p.OnDispatch(task, round)
+	}
+	return err
+}
+
+// sendBatch enqueues b on the slot and sends its broadcast, holding the
+// slot's sendMu across both so wire order always matches queue order (a
+// concurrent replay send cannot interleave). The batch is enqueued before
+// the send: if the send fails, workerDied finds it in the queue and
+// re-queues its jobs.
+func (p *Pipeline) sendBatch(slot int, b *batch, bc Broadcast) error {
+	p.mu.Lock()
+	st := p.slotFor(slot)
+	p.mu.Unlock()
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	p.mu.Lock()
+	if st.dead {
+		// Too late: the slot died while this batch was being prepared. Put
+		// the batch in the queue anyway and let workerDied's caller — or
+		// the death that already ran — re-queue it; returning an error
+		// routes the caller into workerDied, which handles both cases.
+		st.queue = append(st.queue, b)
+		p.mu.Unlock()
+		return fmt.Errorf("transport: worker %d is dead", slot)
+	}
+	st.queue = append(st.queue, b)
+	if !st.collecting {
+		st.collecting = true
+		go p.collect(slot, st)
+	}
+	p.mu.Unlock()
+	return p.coord.send(slot, bc)
+}
+
+// collect is slot's dedicated receive loop: it decodes acks against the
+// head batch of the slot's queue, settles flights, and finalizes rounds
+// whose last ack landed. One collector runs per slot for the pipeline's
+// lifetime; it exits on worker death or pipeline close.
+func (p *Pipeline) collect(slot int, st *slotState) {
+	for {
+		u, err := p.coord.recv(slot)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if err != nil {
+			p.mu.Unlock()
+			p.workerDied(slot)
+			return
+		}
+		if u.Version != ProtocolVersion {
+			p.failLocked(fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator v%d", slot, u.Version, ProtocolVersion))
+			p.mu.Unlock()
+			return
+		}
+		if u.Error != "" {
+			// A worker-reported error is deterministic: re-queueing the job
+			// elsewhere would fail identically, so the run fails.
+			p.failLocked(fmt.Errorf("transport: worker %d: %s", slot, u.Error))
+			p.mu.Unlock()
+			return
+		}
+		if len(st.queue) == 0 {
+			p.failLocked(fmt.Errorf("transport: worker %d sent an update with no broadcast outstanding", slot))
+			p.mu.Unlock()
+			return
+		}
+		b := st.queue[0]
+		if u.Done {
+			if b.acked != len(b.keys) {
+				p.failLocked(fmt.Errorf("transport: worker %d closed round %d's stream with %d of %d acks", slot, b.round, b.acked, len(b.keys)))
+				p.mu.Unlock()
+				return
+			}
+			st.queue = st.queue[1:]
+			p.mu.Unlock()
+			continue
+		}
+		if len(u.Results) != 1 {
+			p.failLocked(fmt.Errorf("transport: worker %d ack carries %d results, want 1", slot, len(u.Results)))
+			p.mu.Unlock()
+			return
+		}
+		jr := u.Results[0]
+		if jr.Index < 0 || jr.Index >= len(b.keys) {
+			p.failLocked(fmt.Errorf("transport: worker %d acked job slot %d of %d", slot, jr.Index, len(b.keys)))
+			p.mu.Unlock()
+			return
+		}
+		key := b.keys[jr.Index]
+		rf := p.rounds[b.round]
+		if rf == nil {
+			p.failLocked(fmt.Errorf("transport: worker %d acked job %d of settled round %d", slot, jr.Index, b.round))
+			p.mu.Unlock()
+			return
+		}
+		if jr.Patch != nil {
+			rf.rs.PatchUploads++
+		} else {
+			rf.rs.StateUploads++
+			if p.Codec() != wire.CodecFull {
+				rf.rs.UploadFallbacks++
+			}
+		}
+		fl0, open := p.flights[key]
+		if open && !fl0.done {
+			// Decode under mu: wire.Decode and FromWire are pure, but the
+			// method's DecodeUpload is not documented concurrency-safe, and
+			// decode cost is dwarfed by training.
+			res, err := decodeResult(p.alg, jr, b.base)
+			if err != nil {
+				p.failLocked(fmt.Errorf("transport: worker %d round %d job %d: %w", slot, b.round, jr.Index, err))
+				p.mu.Unlock()
+				return
+			}
+			fl0.done = true
+			if fl0.discard {
+				delete(p.flights, key)
+			} else {
+				fl0.res = res
+			}
+			now := time.Now()
+			rf.lastAck = now
+			nanos := now.Sub(rf.start).Nanoseconds()
+			if rf.rs.FirstAckNanos == 0 {
+				rf.rs.FirstAckNanos = nanos
+			}
+			rf.rs.LastAckNanos = nanos
+			rf.remaining--
+		}
+		b.acked++
+		var finished *RoundStats
+		if rf.remaining == 0 {
+			finished = p.finishRound(b.round, rf)
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if finished != nil && p.OnRound != nil {
+			p.OnRound(*finished)
+		}
+	}
+}
+
+// finishRound finalizes a round whose last ack landed: compute its overlap
+// span, fold its statistics into the cumulative totals, and release its
+// retained state. Called with mu held; the returned stats are delivered to
+// OnRound outside the lock.
+func (p *Pipeline) finishRound(round int, rf *roundFlight) *RoundStats {
+	if !rf.overlapFrom.IsZero() && rf.lastAck.After(rf.overlapFrom) {
+		rf.rs.OverlapNanos = rf.lastAck.Sub(rf.overlapFrom).Nanoseconds()
+	}
+	delete(p.rounds, round)
+	rs := rf.rs
+	p.tmu.Lock()
+	p.stats.add(rs)
+	p.tmu.Unlock()
+	return &rs
+}
+
+// workerDied handles a slot's connection death: drop its base tracking,
+// and re-queue every unfinished job in its queued batches — grouped by
+// origin round, oldest first — onto the survivors as Replay broadcasts.
+// Safe to call repeatedly and from collectors and dispatchers alike: each
+// call drains whatever the slot's queue holds (a sendBatch that lost the
+// race with an earlier death appends its batch to the dead slot's queue
+// and then routes here), so no batch is ever stranded. Callers must not
+// hold mu or tmu.
+func (p *Pipeline) workerDied(slot int) {
+	p.coord.markDead(slot)
+	p.tmu.Lock()
+	delete(p.trackers, slot)
+	p.tmu.Unlock()
+
+	type redo struct {
+		round int
+		specs []fl.JobSpec
+		keys  []flightKey
+	}
+	p.mu.Lock()
+	st := p.slotFor(slot)
+	if p.closed || p.fatal != nil {
+		p.mu.Unlock()
+		return
+	}
+	st.dead = true
+	// Collect the unfinished jobs per origin round, preserving batch order
+	// (batches are FIFO, so rounds come out oldest first — the admission
+	// order the engine expects is by origin round).
+	var redos []redo
+	for _, b := range st.queue {
+		var specs []fl.JobSpec
+		var keys []flightKey
+		for k, key := range b.keys {
+			if fl0, open := p.flights[key]; open && !fl0.done {
+				specs = append(specs, b.specs[k])
+				keys = append(keys, key)
+			}
+		}
+		if len(specs) == 0 {
+			continue
+		}
+		if n := len(redos); n > 0 && redos[n-1].round == b.round {
+			redos[n-1].specs = append(redos[n-1].specs, specs...)
+			redos[n-1].keys = append(redos[n-1].keys, keys...)
+		} else {
+			redos = append(redos, redo{round: b.round, specs: specs, keys: keys})
+		}
+	}
+	st.queue = nil
+	if len(redos) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	if !p.Requeue {
+		p.failLocked(fmt.Errorf("transport: worker %d died with jobs unfinished (re-queue disabled)", slot))
+		p.mu.Unlock()
+		return
+	}
+	survivors := p.coord.liveSlots()
+	if len(survivors) == 0 {
+		p.failLocked(fmt.Errorf("transport: no live workers with jobs unfinished"))
+		p.mu.Unlock()
+		return
+	}
+	// Build one replay plan per (origin round, survivor) pair while the
+	// round state is pinned under mu; send outside it.
+	codecName := p.Codec()
+	type replaySend struct {
+		slot int
+		b    *batch
+		bc   Broadcast
+	}
+	var sends []replaySend
+	for _, rd := range redos {
+		rf := p.rounds[rd.round]
+		if rf == nil {
+			p.failLocked(fmt.Errorf("transport: worker %d died holding jobs of settled round %d", slot, rd.round))
+			p.mu.Unlock()
+			return
+		}
+		rf.rs.Attempts++
+		replay := &Replay{State: ToWire(rf.dict)}
+		if len(rf.payload) > 0 {
+			// Always ship the origin round's wire state: the survivor's own
+			// payload version may be ahead of or behind this round's, and
+			// it restores its stream payload after the replay either way.
+			replay.Payload, replay.HasPayload = rf.payload, true
+		}
+		perSlot := make(map[int][]int, len(survivors))
+		for k := range rd.keys {
+			s := survivors[k%len(survivors)]
+			perSlot[s] = append(perSlot[s], k)
+		}
+		for _, s := range survivors {
+			idxs := perSlot[s]
+			if len(idxs) == 0 {
+				continue
+			}
+			specs := make([]fl.JobSpec, len(idxs))
+			keys := make([]flightKey, len(idxs))
+			for k, ix := range idxs {
+				specs[k] = rd.specs[ix]
+				keys[k] = rd.keys[ix]
+			}
+			sends = append(sends, replaySend{
+				slot: s,
+				b:    &batch{round: rd.round, specs: specs, keys: keys, base: rf.dict},
+				bc: Broadcast{
+					Task:   rf.task,
+					Round:  rd.round,
+					Codec:  codecName,
+					Jobs:   specs,
+					Replay: replay,
+				},
+			})
+		}
+	}
+	p.mu.Unlock()
+
+	for _, rs := range sends {
+		if err := p.sendBatch(rs.slot, rs.b, rs.bc); err != nil {
+			// The survivor died too; recurse — its queue (our batch
+			// included) re-queues on whoever is left.
+			p.workerDied(rs.slot)
+		}
+	}
+}
+
+// Await implements fl.Dispatcher: block until job index of the given
+// round's dispatch settles, then consume and return its result. Each
+// dispatched job must be awaited (or discarded) exactly once.
+func (p *Pipeline) Await(round, index int) (fl.Result, error) {
+	key := flightKey{round, index}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.fatal != nil {
+			return fl.Result{}, p.fatal
+		}
+		fl0, ok := p.flights[key]
+		if !ok {
+			return fl.Result{}, fmt.Errorf("transport: job %d of round %d was already settled", index, round)
+		}
+		if fl0.done {
+			res := fl0.res
+			delete(p.flights, key)
+			return res, nil
+		}
+		if p.closed {
+			return fl.Result{}, fmt.Errorf("transport: pipeline closed with job %d of round %d in flight", index, round)
+		}
+		p.cond.Wait()
+	}
+}
+
+// Discard implements fl.Dispatcher: drop one dispatched job's result —
+// the staleness bound discarded it — without blocking. The job still
+// counts toward its round's completion; only the decoded result is
+// released (or never stored).
+func (p *Pipeline) Discard(round, index int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := flightKey{round, index}
+	fl0, ok := p.flights[key]
+	if !ok {
+		return
+	}
+	if fl0.done {
+		delete(p.flights, key)
+		return
+	}
+	fl0.discard = true
+}
+
+// Run implements fl.Runner: the barrier form — dispatch, then await every
+// job in order. Behaviorally identical to the barrier Runner (and
+// bit-identical under any lossless codec).
+func (p *Pipeline) Run(jobs []fl.Job) ([]fl.Result, error) {
+	results := make([]fl.Result, len(jobs))
+	err := p.RunEach(jobs, func(i int, res fl.Result) error {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEach implements fl.EachRunner: dispatch, then await and hand over
+// each job in job order (the engine's fold order).
+func (p *Pipeline) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	task, round := jobs[0].Spec.Task, jobs[0].Spec.Round
+	if err := p.Dispatch(task, round, jobs); err != nil {
+		return err
+	}
+	for i := range jobs {
+		res, err := p.Await(round, i)
+		if err != nil {
+			return err
+		}
+		if err := done(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ fl.Runner     = (*Pipeline)(nil)
+	_ fl.EachRunner = (*Pipeline)(nil)
+	_ fl.Dispatcher = (*Pipeline)(nil)
+)

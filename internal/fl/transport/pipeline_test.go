@@ -1,0 +1,285 @@
+// Pipelined-transport acceptance gates: the Pipeline must preserve the
+// barrier path's bit-identity at staleness 0 for every method, and the
+// re-queue-on-death machinery must survive the hard case pipelining
+// creates — a worker dying while it holds jobs from two live rounds.
+package transport_test
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"reffil/internal/data"
+	"reffil/internal/experiments"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/model"
+)
+
+// runTCPPipelined executes the full task sequence over loopback TCP with
+// the pipelined transport: engine → AsyncRunner(staleness) → Pipeline →
+// gob-over-TCP workers. delay is the AsyncRunner's straggler policy (nil =
+// no lag); straggle, when non-nil, maps a worker id to a pre-ack hook on
+// that worker's Executor.
+func runTCPPipelined(t *testing.T, method string, family *data.Family, domains []string, nWorkers, staleness int, delay func(round int, spec fl.JobSpec) int, straggle map[int]func(fl.JobSpec), codec string) ([][]float64, transport.Stats) {
+	t.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	workerErr := make([]error, nWorkers)
+	for id := 0; id < nWorkers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			ex, err := transport.NewExecutor(alg, 1)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			ex.Straggle = straggle[id]
+			w, err := transport.Dial(coord.Addr(), id)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			defer w.Close()
+			workerErr[id] = w.Serve(ex.Handle)
+		}(id)
+	}
+	if err := coord.Accept(nWorkers, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	alg, err := experiments.NewMethodFromFlag(method, model.DefaultConfig(family.Classes), len(domains), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := transport.NewPipeline(coord, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec != "" {
+		if err := pl.UseCodec(codec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runner := &fl.AsyncRunner{Inner: pl, Staleness: staleness, Delay: delay}
+	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for id, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+	return mat.A, pl.Stats()
+}
+
+// TestPipelinedStalenessZeroMatchesSync is the pipelining acceptance gate:
+// engine → AsyncRunner(S=0) → Pipeline over loopback TCP must reproduce
+// the synchronous in-process LocalRunner's accuracy matrix exactly (==)
+// for all six -method algorithms. Dispatch and collection are decoupled
+// and the coordinator's mirror advances per slot at send time, but with a
+// zero window every result is awaited in its own round in job order — the
+// aggregation stream, and therefore every bit of the model, must be
+// unchanged. Run under the delta codec so the per-slot send-time mirror
+// advance is load-bearing (a wrong base would corrupt a frame or a patch,
+// not just a counter).
+func TestPipelinedStalenessZeroMatchesSync(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	methods := experiments.MethodFlags()
+	if testing.Short() {
+		methods = []string{"reffil", "lwf"}
+	}
+	for _, method := range methods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			local := localReference(t, method, family, domains)
+			piped, stats := runTCPPipelined(t, method, family, domains, 2, 0, nil, nil, "delta")
+			requireSameMatrix(t, "pipelined(S=0)", local, piped)
+			requireAllPatchUploads(t, stats)
+		})
+	}
+}
+
+// TestPipelinedStalenessOneMatchesBarrierAsync pins the other half of the
+// equivalence: with a staleness window and deterministic stragglers, the
+// pipelined path — lagging results left in flight on the wire, awaited at
+// admission — must admit exactly what the barrier AsyncRunner admits when
+// it simulates the same delays over the synchronous transport, so the two
+// matrices are bit-identical even though their wall-clock schedules are
+// completely different.
+func TestPipelinedStalenessOneMatchesBarrierAsync(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	delay := fl.StragglerDelay(crossRunnerConfig().Seed, 0.33, 1)
+	barrier := runTCP(t, "lwf", family, domains, 2, func(inner fl.Runner) fl.Runner {
+		return &fl.AsyncRunner{Inner: inner, Staleness: 1, Delay: delay}
+	})
+	piped, _ := runTCPPipelined(t, "lwf", family, domains, 2, 1, delay, nil, "delta")
+	requireSameMatrix(t, "pipelined(S=1)", barrier, piped)
+}
+
+// TestPipelinedWorkerDeathTwoLiveRounds is the fault-injection gate for
+// the case only pipelining can produce: a worker dies while its send
+// queue holds unfinished jobs from TWO live rounds (round r, whose
+// results are in flight under a staleness window, and round r+1, already
+// dispatched on top). The coordinator must re-queue both jobs on the
+// survivor as Replay broadcasts carrying each origin round's retained
+// state — round r's jobs must re-execute against round r's weights, not
+// r+1's — and the completed run must be bit-identical to the same
+// staleness schedule with no crash.
+//
+// Choreography: every result lags one round (S=1), so round r's results
+// are never awaited before round r+1 dispatches. Worker slot 1 is a raw
+// gob endpoint that acks nothing: it decodes the round (0,0) broadcast,
+// keeps reading until the round (0,1) broadcast arrives — proof both
+// batches are queued against its slot — and then severs the connection.
+// (It must keep reading until the kill: a worker that stops mid-round
+// would stall the coordinator's dispatch in the TCP buffers instead of
+// dying cleanly.)
+func TestPipelinedWorkerDeathTwoLiveRounds(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:2]
+	lagAll := func(int, fl.JobSpec) int { return 1 }
+
+	// Reference: the identical staleness schedule over the pipelined
+	// transport with no crash. Re-queued jobs are deterministic re-executions
+	// against the origin round's state, so the crashed run must match it.
+	want, _ := runTCPPipelined(t, "reffil", family, domains, 2, 1, lagAll, nil, "delta")
+
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	newAlg := func() fl.Algorithm {
+		alg, err := experiments.NewMethodFromFlag("reffil", model.DefaultConfig(family.Classes), len(domains), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+
+	// Worker slot 0: the survivor. Dialed first so round-robin assignment
+	// is deterministic (job 1 of each 3-job round lands on slot 1).
+	surviveErr := make(chan error, 1)
+	{
+		ex, err := transport.NewExecutor(newAlg(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := transport.Dial(coord.Addr(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer w.Close()
+			surviveErr <- w.Serve(ex.Handle)
+		}()
+		if err := coord.Accept(1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Worker slot 1: the killer — a raw gob endpoint, because a real
+	// Executor cannot be mid-broadcast on two rounds at once (Serve is
+	// sequential). It reads broadcasts without ever acking and dies the
+	// moment it holds two.
+	var killerRounds []int
+	killerDone := make(chan struct{})
+	{
+		conn, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer close(killerDone)
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for len(killerRounds) < 2 {
+				var b transport.Broadcast
+				if err := dec.Decode(&b); err != nil {
+					return
+				}
+				killerRounds = append(killerRounds, b.Round)
+			}
+		}()
+		if err := coord.Accept(1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	alg := newAlg()
+	pl, err := transport.NewPipeline(coord, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.UseCodec("delta"); err != nil {
+		t.Fatal(err)
+	}
+	runner := &fl.AsyncRunner{Inner: pl, Staleness: 1, Delay: lagAll}
+	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := eng.Run(family, domains)
+	if err != nil {
+		t.Fatalf("run with injected dual-round crash failed instead of re-queueing: %v", err)
+	}
+	if got := coord.NumLive(); got != 1 {
+		t.Fatalf("live workers after crash = %d, want 1", got)
+	}
+	stats := pl.Stats()
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	<-killerDone
+	if len(killerRounds) != 2 || killerRounds[0] != 0 || killerRounds[1] != 1 {
+		t.Fatalf("killer saw broadcasts for rounds %v before dying, want [0 1] — the crash did not strand two live rounds", killerRounds)
+	}
+	if err := <-surviveErr; err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	requireSameMatrix(t, "pipelined crash(two live rounds)", want, mat.A)
+	if stats.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}

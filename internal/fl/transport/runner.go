@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
@@ -160,15 +161,33 @@ func (r *Runner) ackTracker(slot int, f *wire.Frame, decoded map[string]*tensor.
 // into the next attempt, so the loop ends with either a complete result
 // set or no workers left.
 func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
+	results := make([]fl.Result, len(jobs))
+	err := r.RunEach(jobs, func(i int, res fl.Result) error {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEach implements fl.EachRunner over the wire: done(i, results[i]) fires
+// once per job as its ack arrives and decodes — in ack-arrival order, not
+// job order — serialized under the round's collection lock. The engine
+// folds each result straight into the streaming FedAvg accumulator instead
+// of holding every client's dict until the round barrier. An error from
+// done fails the round like a worker error.
+func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) error {
 	if len(jobs) == 0 {
-		return nil, nil
+		return nil
 	}
 	var payload []byte
 	if ws, ok := r.alg.(fl.WireStater); ok {
 		var err error
 		payload, err = ws.EncodeWireState()
 		if err != nil {
-			return nil, fmt.Errorf("transport: encoding wire state: %w", err)
+			return fmt.Errorf("transport: encoding wire state: %w", err)
 		}
 	}
 	// Mark the run started and pin this round's encoder in one critical
@@ -183,10 +202,10 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 	// StateDict clones, so the encoder's canonical dict is immune to the
 	// engine mutating the global during aggregation.
 	enc.SetRound(nn.StateDict(r.alg.Global()), payload)
+	start := time.Now()
 	startIn, startOut := r.coord.BytesTransferred()
 	rs := RoundStats{Task: jobs[0].Spec.Task, Round: jobs[0].Spec.Round}
 
-	results := make([]fl.Result, len(jobs))
 	got := make([]bool, len(jobs))
 	remaining := make([]int, len(jobs))
 	for i := range jobs {
@@ -196,7 +215,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 	for attempt := 0; ; attempt++ {
 		live := r.coord.liveSlots()
 		if len(live) == 0 {
-			return nil, fmt.Errorf("transport: no live workers with %d of %d jobs unfinished", len(remaining), len(jobs))
+			return fmt.Errorf("transport: no live workers with %d of %d jobs unfinished", len(remaining), len(jobs))
 		}
 		rs.Attempts = attempt + 1
 		// Round-robin the unfinished jobs over the live slots; assign[slot]
@@ -236,12 +255,12 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			t := r.tracker(slot)
 			f, err := enc.FrameFor(t, len(assign[slot]) > 0)
 			if err != nil {
-				return nil, fmt.Errorf("transport: encoding frame for worker %d: %w", slot, err)
+				return fmt.Errorf("transport: encoding frame for worker %d: %w", slot, err)
 			}
 			frames[slot] = f
 			base, err := uploadBase(enc, t, f)
 			if err != nil {
-				return nil, fmt.Errorf("transport: previewing worker %d state: %w", slot, err)
+				return fmt.Errorf("transport: previewing worker %d state: %w", slot, err)
 			}
 			bases[slot] = base
 		}
@@ -280,6 +299,9 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 					return
 				}
 				mu.Lock()
+				if d := time.Since(start).Nanoseconds(); d > rs.DispatchNanos {
+					rs.DispatchNanos = d
+				}
 				switch f.Kind {
 				case wire.KindFull:
 					rs.FullFrames++
@@ -343,7 +365,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 					}
 					gi := idxs[jr.Index]
 					if !got[gi] {
-						res, err := r.decode(jr, bases[slot])
+						res, err := decodeResult(r.alg, jr, bases[slot])
 						if err != nil {
 							if fatal == nil {
 								fatal = fmt.Errorf("transport: worker %d job %d: %w", slot, jr.Index, err)
@@ -352,7 +374,20 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 							return
 						}
 						got[gi] = true
-						results[gi] = res
+						now := time.Since(start).Nanoseconds()
+						if rs.FirstAckNanos == 0 {
+							rs.FirstAckNanos = now
+						}
+						rs.LastAckNanos = now
+						// done is called under mu: serialized, exactly once
+						// per job, while the slot goroutines keep receiving.
+						if err := done(gi, res); err != nil {
+							if fatal == nil {
+								fatal = err
+							}
+							mu.Unlock()
+							return
+						}
 					}
 					mu.Unlock()
 					acked++
@@ -361,7 +396,7 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 		}
 		wg.Wait()
 		if fatal != nil {
-			return nil, fatal
+			return fatal
 		}
 		unfinished := remaining[:0]
 		for _, ji := range remaining {
@@ -379,10 +414,10 @@ func (r *Runner) Run(jobs []fl.Job) ([]fl.Result, error) {
 			if r.OnRound != nil {
 				r.OnRound(rs)
 			}
-			return results, nil
+			return nil
 		}
 		if !r.Requeue {
-			return nil, fmt.Errorf("transport: worker connection lost with %d of %d jobs unfinished (re-queue disabled)", len(unfinished), len(jobs))
+			return fmt.Errorf("transport: worker connection lost with %d of %d jobs unfinished (re-queue disabled)", len(unfinished), len(jobs))
 		}
 		remaining = unfinished
 	}
@@ -409,10 +444,13 @@ func uploadBase(enc *wire.Encoder, t *wire.Tracker, f *wire.Frame) (map[string]*
 	return wire.Decode(base, &f.Patch)
 }
 
-// decode converts one acked JobResult into an fl.Result. base is the
+// decodeResult converts one acked JobResult into an fl.Result. base is the
 // broadcast base the sending worker diffed a patch upload against — its
-// post-frame state, previewed per slot when the frame was built.
-func (r *Runner) decode(jr JobResult, base map[string]*tensor.Tensor) (fl.Result, error) {
+// post-frame state, previewed per slot when the frame was built (or, for a
+// pipelined replay, the origin round's state). Shared by the barrier Runner
+// and the Pipeline; neither calls it concurrently (the method's
+// DecodeUpload is not documented concurrency-safe).
+func decodeResult(alg fl.Algorithm, jr JobResult, base map[string]*tensor.Tensor) (fl.Result, error) {
 	var dict map[string]*tensor.Tensor
 	var err error
 	switch {
@@ -433,9 +471,9 @@ func (r *Runner) decode(jr JobResult, base map[string]*tensor.Tensor) (fl.Result
 	}
 	var up fl.Upload
 	if len(jr.Upload) > 0 {
-		uc, ok := r.alg.(fl.UploadCoder)
+		uc, ok := alg.(fl.UploadCoder)
 		if !ok {
-			return fl.Result{}, fmt.Errorf("worker sent an upload but %s cannot decode uploads", r.alg.Name())
+			return fl.Result{}, fmt.Errorf("worker sent an upload but %s cannot decode uploads", alg.Name())
 		}
 		up, err = uc.DecodeUpload(jr.Upload)
 		if err != nil {
@@ -445,4 +483,7 @@ func (r *Runner) decode(jr JobResult, base map[string]*tensor.Tensor) (fl.Result
 	return fl.Result{Dict: dict, Upload: up}, nil
 }
 
-var _ fl.Runner = (*Runner)(nil)
+var (
+	_ fl.Runner     = (*Runner)(nil)
+	_ fl.EachRunner = (*Runner)(nil)
+)

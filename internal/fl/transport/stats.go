@@ -73,4 +73,31 @@ type RoundStats struct {
 	PatchUploads    int64
 	StateUploads    int64
 	UploadFallbacks int64
+	// DispatchNanos is the wall-clock span of the round's dispatch path —
+	// frame building plus broadcast sends. Under the pipelined runner this
+	// is all the coordinator pays before it can move on to the next round;
+	// under the barrier Runner the whole round (training included) sits
+	// inside its Run call and dispatch is only the send phase.
+	DispatchNanos int64
+	// FirstAckNanos / LastAckNanos are the wall-clock latencies from
+	// dispatch start to the round's first and last job ack. Zero when the
+	// round had no jobs.
+	FirstAckNanos int64
+	LastAckNanos  int64
+	// OverlapNanos is how much of this round's collection span ran after a
+	// later round had already been dispatched — the wall-clock time the
+	// pipelined runner reclaimed from the barrier. Always zero under the
+	// barrier Runner, where no later round dispatches until this one
+	// completes.
+	OverlapNanos int64
+}
+
+// OverlapRatio is OverlapNanos as a fraction of the round's full dispatch-
+// to-last-ack span: 0 for barrier rounds, approaching 1 when nearly the
+// whole collection ran concurrently with later rounds.
+func (rs RoundStats) OverlapRatio() float64 {
+	if rs.LastAckNanos <= 0 {
+		return 0
+	}
+	return float64(rs.OverlapNanos) / float64(rs.LastAckNanos)
 }

@@ -70,7 +70,14 @@ import (
 // state dict (JobResult.Patch vs the legacy JobResult.State). The lossy
 // topk codec is broadcast-only — its uploads fall back to the lossless
 // delta — so FedAvg inputs are never approximated.
-const ProtocolVersion = 5
+//
+// v6 adds pipelined rounds: the coordinator may broadcast round r+1 while
+// round r's acks are still streaming in, and a dead worker's unfinished
+// jobs from an already-superseded round are re-queued on survivors via a
+// Broadcast.Replay — an ephemeral snapshot of the origin round's state
+// that the survivor trains against without disturbing its own versioned
+// frame stream.
+const ProtocolVersion = 6
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -132,8 +139,33 @@ type Broadcast struct {
 	// worker derives its data shard from. Workers with no jobs reply with
 	// a bare Done update.
 	Jobs []fl.JobSpec
+	// Replay, when non-nil, marks a pipelined re-queue broadcast (v6): a
+	// dead worker's unfinished jobs from round (Task, Round) re-executed on
+	// a survivor whose own frame stream has already moved past that round.
+	// It carries the origin round's state out of band — the survivor trains
+	// Jobs against it and diffs upload patches against it, but its Frame
+	// tracker and the coordinator's mirror stay untouched, so the live
+	// version stream is unaffected. Frame is ignored when Replay is set.
+	Replay *Replay
 	// Done tells workers to exit their serve loop.
 	Done bool
+}
+
+// Replay is the ephemeral origin-round state attached to a pipelined
+// re-queue broadcast: the exact global state dict the dead worker trained
+// against, plus that round's method wire state when the survivor may hold
+// a different version. Replays bypass the versioned delta machinery on
+// purpose — the origin round's state may predate or postdate whatever the
+// survivor's tracker holds, so no delta base is guaranteed to exist.
+type Replay struct {
+	// State is the origin round's full global state dict.
+	State map[string]WireTensor
+	// Payload is the origin round's method wire state; HasPayload marks
+	// that the survivor must load it (its own payload version differs from
+	// the origin round's). After the replay the survivor restores the
+	// payload its live stream had loaded.
+	Payload    []byte
+	HasPayload bool
 }
 
 // JobResult is one executed job's acknowledged reply. Exactly one of State
