@@ -37,14 +37,29 @@
 // delta produce bit-identical accuracy matrices; per-round byte savings
 // are logged.
 //
+// Membership is elastic (protocol v7): the coordinator admits worker dials
+// for its whole lifetime, so -workers/-min-workers only gate the start of
+// the run — a worker that dies can re-dial (fedworker -rejoin) and a fresh
+// worker can join mid-run, each entering a new slot that receives a full
+// state snapshot on its next broadcast. -heartbeat-timeout bounds how long
+// a silently wedged worker (connection open, nothing flowing) can stall a
+// round before its jobs re-queue. -checkpoint-dir makes the coordinator
+// itself restartable: the engine snapshots resumable run state after every
+// round and every task, and a restarted fedserver pointed at the same
+// directory resumes the run — with the same flags and re-dialed workers,
+// the final accuracy matrix is bit-identical to an uninterrupted run (see
+// README "Elastic membership & resume").
+//
 // -pprof ADDR serves the net/http/pprof endpoints for live CPU/heap
 // profiling of a running coordinator (see README "Performance").
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -105,6 +120,11 @@ func run() error {
 		ckpt    = flag.String("checkpoint", "", "path to write the final global model")
 		timeout = flag.Duration("accept-timeout", 60*time.Second, "worker accept timeout")
 
+		minWorkers = flag.Int("min-workers", 0, "minimum workers required before the run starts (0 = -workers); late dials are admitted mid-run either way")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "declare a heartbeating worker dead after this long without traffic (0 = 4x the worker's advertised -heartbeat interval)")
+		joinWait   = flag.Duration("join-wait", 0, "when a round has no live workers, wait this long for a (re-)join before failing (0 = fail fast)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for resumable run-state checkpoints, written after every round and task; if a run checkpoint already exists there the run resumes from it")
+
 		staleness = flag.Int("staleness", 0, "bounded-staleness window S: results may report up to S rounds late with discounted FedAvg weight (0 = synchronous rounds, bit-identical to the local engine)")
 		straggler = flag.Float64("straggler", 0, "per-(round,client) probability of lagging 1..S rounds (deterministic simulation; requires -staleness >= 1)")
 		requeue   = flag.Bool("requeue", true, "re-queue a dead worker's unfinished jobs on the survivors instead of failing the round")
@@ -116,6 +136,9 @@ func run() error {
 	flag.Parse()
 	if *straggler > 0 && *staleness < 1 {
 		return fmt.Errorf("-straggler %v needs -staleness >= 1: a lagging result with window 0 is always dropped", *straggler)
+	}
+	if *ckptDir != "" && *staleness > 0 {
+		return fmt.Errorf("-checkpoint-dir needs -staleness 0: mid-task snapshots under a staleness window omit in-flight results, so a resume would not be bit-identical")
 	}
 	if *pprofAddr != "" {
 		bound, err := profiling.Serve(*pprofAddr)
@@ -143,11 +166,16 @@ func run() error {
 		return err
 	}
 	defer coord.Close()
-	fmt.Printf("listening on %s, waiting for %d workers...\n", coord.Addr(), *workers)
-	if err := coord.Accept(*workers, *timeout); err != nil {
+	coord.SetHeartbeatTimeout(*hbTimeout)
+	need := *workers
+	if *minWorkers > 0 {
+		need = *minWorkers
+	}
+	fmt.Printf("listening on %s, waiting for %d workers (more may join mid-run)...\n", coord.Addr(), need)
+	if err := coord.Accept(need, *timeout); err != nil {
 		return err
 	}
-	fmt.Println("all workers connected")
+	fmt.Println("workers connected, starting")
 
 	onRound := func(rs transport.RoundStats) {
 		fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s (%d patch/%d full), frames %d full/%d delta/%d idle, %d fallbacks (%d upload), %d attempts, dispatch %.1fms, acks %.1f-%.1fms, overlap %.0f%%\n",
@@ -172,6 +200,7 @@ func run() error {
 			return err
 		}
 		pl.Requeue = *requeue
+		pl.JoinWait = *joinWait
 		if *wireLog {
 			pl.OnRound = onRound
 		}
@@ -185,6 +214,7 @@ func run() error {
 			return err
 		}
 		br.Requeue = *requeue
+		br.JoinWait = *joinWait
 		if *wireLog {
 			br.OnRound = onRound
 		}
@@ -225,6 +255,43 @@ func run() error {
 		return err
 	}
 	eng.Progress = func(msg string) { fmt.Println(msg) }
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("creating -checkpoint-dir: %w", err)
+		}
+		path := filepath.Join(*ckptDir, "run.ckpt")
+		// Resume if a snapshot exists (a fresh directory starts a fresh run);
+		// guard against resuming someone else's run.
+		if rs, err := checkpoint.LoadRunStateFile(path); err == nil {
+			if rs.Method != *method || rs.Seed != *seed {
+				return fmt.Errorf("%s was written by -method %s -seed %d, not -method %s -seed %d", path, rs.Method, rs.Seed, *method, *seed)
+			}
+			eng.Resume = &fl.ResumeState{
+				NextTask:   rs.NextTask,
+				NextRound:  rs.NextRound,
+				Matrix:     rs.Matrix,
+				Global:     rs.Global,
+				Payload:    rs.Payload,
+				HasPayload: rs.HasPayload,
+			}
+			fmt.Printf("resuming from %s at task %d round %d\n", path, rs.NextTask, rs.NextRound)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		eng.Checkpoint = func(st fl.ResumeState) error {
+			return checkpoint.SaveRunStateFile(path, &checkpoint.RunState{
+				Method:     *method,
+				Seed:       *seed,
+				NextTask:   st.NextTask,
+				NextRound:  st.NextRound,
+				Matrix:     st.Matrix,
+				Global:     st.Global,
+				Payload:    st.Payload,
+				HasPayload: st.HasPayload,
+			})
+		}
+	}
 
 	mat, err := eng.Run(family, domains)
 	if err != nil {

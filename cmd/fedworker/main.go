@@ -19,6 +19,15 @@
 // dict (uploads are never lossy: under -codec topk they fall back to the
 // lossless delta). -codec optionally pins which codec this worker accepts.
 //
+// Membership is elastic (protocol v7): dials are bounded (-dial-timeout)
+// and retried with exponential backoff (-dial-retries/-dial-backoff), the
+// worker streams liveness heartbeats (-heartbeat) so a wedged process is
+// detected within a bounded interval instead of on a read error, and
+// -rejoin N re-dials a lost coordinator up to N times — on re-admission
+// the coordinator hands this worker a fresh slot and a full state
+// snapshot, so a restarted worker (or a restarted, resuming fedserver)
+// continues the run bit-identically.
+//
 // -method, -dataset, -tasks and -seed must match the fedserver's flags:
 // the construction seed fixes the initial weights on both sides. See
 // cmd/fedserver for the full deployment recipe.
@@ -68,6 +77,12 @@ func run() error {
 		straggle     = flag.Float64("straggle", 0, "per-(round,client) probability this worker really sleeps before acking a job (deterministic in -seed; pair with fedserver -pipeline -straggler so admission anticipates the lag)")
 		straggleMax  = flag.Int("straggle-max", 1, "maximum lag in rounds for a straggling job (match fedserver -staleness)")
 		straggleUnit = flag.Duration("straggle-unit", 200*time.Millisecond, "real wall-clock sleep per lag round")
+
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "TCP dial + join handshake timeout (0 = unbounded, hangs forever on a half-open coordinator)")
+		dialRetries = flag.Int("dial-retries", 5, "retry a failed dial this many times before giving up")
+		dialBackoff = flag.Duration("dial-backoff", 500*time.Millisecond, "initial delay between dial retries, doubling per attempt")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "stream liveness heartbeats to the coordinator on this interval so wedge detection is bounded (0 disables)")
+		rejoin      = flag.Int("rejoin", 0, "re-dial and re-join a lost coordinator up to this many times (0 = exit on first disconnect)")
 	)
 	flag.Parse()
 	if *pprof != "" {
@@ -118,14 +133,18 @@ func run() error {
 		ex.Straggle = func(spec fl.JobSpec) { sleep(stop, spec.Round, spec) }
 	}
 
-	w, err := transport.Dial(*addr, *id)
-	if err != nil {
-		return err
+	opts := transport.DialOptions{Timeout: *dialTimeout, Codec: *codec, Heartbeat: *heartbeat}
+	dial := func() (*transport.Worker, error) {
+		w, err := transport.DialWith(*addr, *id, opts)
+		for backoff, attempt := *dialBackoff, 0; err != nil && attempt < *dialRetries; attempt++ {
+			fmt.Printf("worker %d: dial %s failed (%v), retrying in %v\n", *id, *addr, err, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+			w, err = transport.DialWith(*addr, *id, opts)
+		}
+		return w, err
 	}
-	defer w.Close()
-	fmt.Printf("worker %d: connected to %s as %s on %s\n", *id, *addr, alg.Name(), family.Name)
-
-	return w.Serve(func(b transport.Broadcast, emit func(transport.JobResult) error) error {
+	handle := func(b transport.Broadcast, emit func(transport.JobResult) error) error {
 		trained := 0
 		if err := ex.Handle(b, func(jr transport.JobResult) error {
 			trained++
@@ -135,5 +154,26 @@ func run() error {
 		}
 		fmt.Printf("worker %d: task %d round %d: trained %d clients\n", *id, b.Task, b.Round, trained)
 		return nil
-	})
+	}
+
+	// The re-join loop: serve until the coordinator says Done (clean exit)
+	// or the connection is lost. The Executor survives re-dials, so its
+	// shard cache is retained; its wire tracker is refreshed by the full
+	// snapshot the coordinator sends a freshly admitted slot.
+	for attempt := 0; ; attempt++ {
+		w, err := dial()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worker %d: connected to %s as %s on %s\n", *id, *addr, alg.Name(), family.Name)
+		err = w.Serve(handle)
+		_ = w.Close()
+		if err == nil {
+			return nil
+		}
+		if attempt >= *rejoin {
+			return err
+		}
+		fmt.Printf("worker %d: connection lost (%v), re-joining (%d/%d)\n", *id, err, attempt+1, *rejoin)
+	}
 }

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleRunState(rng *rand.Rand) *RunState {
+	return &RunState{
+		Method:    "reffil",
+		Seed:      -7,
+		NextTask:  1,
+		NextRound: 2,
+		// Unevaluated cells are NaN — the round trip must preserve them
+		// (and every other bit pattern) exactly.
+		Matrix: [][]float64{
+			{0.5, math.NaN(), math.NaN()},
+			{0.25, 0.75, math.NaN()},
+			{},
+		},
+		Global:     sampleDict(rng),
+		Payload:    []byte{0x00, 0xff, 0x10, 0x20},
+		HasPayload: true,
+	}
+}
+
+// sameFloat compares bit patterns, so NaN == NaN and 0 != -0.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestRunStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rs := sampleRunState(rng)
+	var buf bytes.Buffer
+	if err := SaveRunState(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != rs.Method || got.Seed != rs.Seed {
+		t.Fatalf("header round trip: got (%s,%d), want (%s,%d)", got.Method, got.Seed, rs.Method, rs.Seed)
+	}
+	if got.NextTask != rs.NextTask || got.NextRound != rs.NextRound {
+		t.Fatalf("position round trip: got (%d,%d), want (%d,%d)", got.NextTask, got.NextRound, rs.NextTask, rs.NextRound)
+	}
+	if len(got.Matrix) != len(rs.Matrix) {
+		t.Fatalf("matrix rows = %d, want %d", len(got.Matrix), len(rs.Matrix))
+	}
+	for i, row := range rs.Matrix {
+		if len(got.Matrix[i]) != len(row) {
+			t.Fatalf("matrix row %d has %d cells, want %d", i, len(got.Matrix[i]), len(row))
+		}
+		for j, v := range row {
+			if !sameFloat(got.Matrix[i][j], v) {
+				t.Fatalf("matrix cell (%d,%d) = %v, want %v", i, j, got.Matrix[i][j], v)
+			}
+		}
+	}
+	if !got.HasPayload || !bytes.Equal(got.Payload, rs.Payload) {
+		t.Fatalf("payload round trip: got (%v,%q), want (true,%q)", got.HasPayload, got.Payload, rs.Payload)
+	}
+	if len(got.Global) != len(rs.Global) {
+		t.Fatalf("global dict has %d keys, want %d", len(got.Global), len(rs.Global))
+	}
+	for name, want := range rs.Global {
+		gotT, ok := got.Global[name]
+		if !ok {
+			t.Fatalf("global dict lost key %q", name)
+		}
+		a, b := want.Data(), gotT.Data()
+		if len(a) != len(b) {
+			t.Fatalf("tensor %q has %d elements, want %d", name, len(b), len(a))
+		}
+		for i := range a {
+			if !sameFloat(a[i], b[i]) {
+				t.Fatalf("tensor %q element %d = %v, want %v", name, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestRunStateFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rs := sampleRunState(rng)
+	rs.HasPayload, rs.Payload = false, nil
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := SaveRunStateFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place: the atomic temp-and-rename install must replace
+	// the previous snapshot, not append or corrupt.
+	rs.NextRound = 0
+	rs.NextTask = 2
+	if err := SaveRunStateFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextTask != 2 || got.NextRound != 0 {
+		t.Fatalf("loaded position (%d,%d), want the overwritten (2,0)", got.NextTask, got.NextRound)
+	}
+	if got.HasPayload || len(got.Payload) != 0 {
+		t.Fatalf("payloadless snapshot round-tripped as (%v,%q)", got.HasPayload, got.Payload)
+	}
+	// No temp litter left behind by the two installs.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d entries, want just the snapshot", len(entries))
+	}
+}
+
+func TestRunStateRejectsBadMagic(t *testing.T) {
+	if _, err := LoadRunState(bytes.NewReader([]byte("NOTARUN0 plus junk"))); err == nil {
+		t.Fatal("bad run-state magic must error")
+	}
+	// A plain dict checkpoint is not a run state either.
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleDict(rand.New(rand.NewSource(13)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRunState(&buf); err == nil {
+		t.Fatal("dict checkpoint must not load as a run state")
+	}
+}
+
+func TestRunStateRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var buf bytes.Buffer
+	if err := SaveRunState(&buf, sampleRunState(rng)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 9, 20, len(full) / 2, len(full) - 1} {
+		if _, err := LoadRunState(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes must error", cut)
+		}
+	}
+}
+
+func TestRunStateRejectsHostileSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	rs := sampleRunState(rng)
+	rs.NextTask = maxTasks + 1
+	if err := SaveRunState(&bytes.Buffer{}, rs); err == nil {
+		t.Fatal("out-of-range resume task must refuse to serialize")
+	}
+	rs.NextTask = 0
+	rs.Payload = make([]byte, maxPayload+1)
+	if err := SaveRunState(&bytes.Buffer{}, rs); err == nil {
+		t.Fatal("oversized payload must refuse to serialize")
+	}
+}

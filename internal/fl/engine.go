@@ -220,6 +220,21 @@ type Engine struct {
 	testSets []*data.Dataset
 	// Progress, when non-nil, receives a line per round (for CLIs).
 	Progress func(msg string)
+	// Checkpoint, when non-nil, receives a resumable snapshot after every
+	// installed round and after every completed task — every state Run can
+	// later be resumed from via Resume. Returning an error aborts the run.
+	// Snapshots sit at round-install boundaries, so under a bounded-
+	// staleness runner with S>0 mid-task snapshots omit in-flight results;
+	// task-boundary snapshots (NextRound == 0) are always exact because the
+	// admission queue drains at task end.
+	Checkpoint func(ResumeState) error
+	// Resume, when non-nil, fast-forwards Run to the snapshot's position
+	// before executing: completed tasks replay their RNG draws (client
+	// advancement, selection, dropout) with results discarded and copy
+	// their recorded accuracy rows, then the snapshot's global model and
+	// wire state are installed and the run proceeds normally — producing an
+	// accuracy matrix bit-identical to the uninterrupted run's.
+	Resume *ResumeState
 }
 
 // NewEngine validates the config and builds an engine for the algorithm
@@ -261,6 +276,13 @@ func (e *Engine) Run(family *data.Family, domains []string) (*metrics.Matrix, er
 	e.domains = domains
 	e.testSets = make([]*data.Dataset, len(domains))
 
+	resume := e.Resume
+	if resume != nil {
+		if err := resume.validate(len(domains), e.cfg.Rounds); err != nil {
+			return nil, err
+		}
+	}
+
 	for t, domain := range domains {
 		train, test, err := family.Generate(domain, e.cfg.TrainPerDomain, e.cfg.TestPerDomain, TaskSeed(e.cfg.Seed, t))
 		if err != nil {
@@ -270,11 +292,50 @@ func (e *Engine) Run(family *data.Family, domains []string) (*metrics.Matrix, er
 		if err := e.advanceClients(t, train); err != nil {
 			return nil, err
 		}
-		if err := e.alg.OnTaskStart(t); err != nil {
-			return nil, fmt.Errorf("fl: %s OnTaskStart(%d): %w", e.alg.Name(), t, err)
+		if resume != nil && t < resume.NextTask {
+			// Fast-forward a completed task: advanceClients above already
+			// made the transition draw; re-make the per-round selection and
+			// dropout draws the original run made (results discarded) and
+			// copy the recorded accuracy row. The task hooks are skipped —
+			// their effects live inside the snapshot installed at the
+			// resume point.
+			for r := 0; r < e.cfg.Rounds; r++ {
+				e.roundJobs(t, r)
+			}
+			if err := copyResumeRow(mat, resume, t); err != nil {
+				return nil, err
+			}
+			continue
 		}
-		for r := 0; r < e.cfg.Rounds; r++ {
+		startRound := 0
+		if resume != nil && t == resume.NextTask {
+			startRound = resume.NextRound
+			for r := 0; r < startRound; r++ {
+				e.roundJobs(t, r)
+			}
+			if err := e.installResume(resume); err != nil {
+				return nil, err
+			}
+			if startRound == 0 {
+				// Task-boundary snapshot: taken before this task's
+				// OnTaskStart ran, so the task starts normally.
+				if err := e.alg.OnTaskStart(t); err != nil {
+					return nil, fmt.Errorf("fl: %s OnTaskStart(%d): %w", e.alg.Name(), t, err)
+				}
+			}
+			// A mid-task snapshot (startRound > 0) already contains
+			// OnTaskStart's effects in its global/wire state.
+			resume = nil
+		} else {
+			if err := e.alg.OnTaskStart(t); err != nil {
+				return nil, fmt.Errorf("fl: %s OnTaskStart(%d): %w", e.alg.Name(), t, err)
+			}
+		}
+		for r := startRound; r < e.cfg.Rounds; r++ {
 			if err := e.runRound(t, r); err != nil {
+				return nil, err
+			}
+			if err := e.checkpointAfter(t, r+1, mat); err != nil {
 				return nil, err
 			}
 		}
@@ -290,8 +351,19 @@ func (e *Engine) Run(family *data.Family, domains []string) (*metrics.Matrix, er
 				return nil, err
 			}
 		}
+		if err := e.checkpointAfter(t+1, 0, mat); err != nil {
+			return nil, err
+		}
 		if e.Progress != nil {
 			e.Progress(fmt.Sprintf("[%s] task %d (%s) done: acc(current)=%.4f", e.alg.Name(), t, domain, mat.A[t][t]))
+		}
+	}
+	if resume != nil {
+		// The snapshot marks a finished run (NextTask == len(domains)):
+		// nothing executed, but the algorithm state must still reflect the
+		// completed run for anyone reading it after Run returns.
+		if err := e.installResume(resume); err != nil {
+			return nil, err
 		}
 	}
 	return mat, nil

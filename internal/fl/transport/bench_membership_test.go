@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkJoinAdmission prices the v7 membership handshake end to end on
+// loopback: one iteration is a worker's Dial (TCP connect + Hello +
+// HelloAck) plus the coordinator observing the admission (Accept). This is
+// the latency a mid-run joiner adds before it can receive its first
+// broadcast; BENCH_membership.json records the measured number.
+func BenchmarkJoinAdmission(b *testing.B) {
+	coord, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := Dial(coord.Addr(), i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.Accept(1, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		_ = w.Close()
+	}
+}
+
+// BenchmarkHeartbeatDetection measures how long the coordinator takes to
+// unmask a wedged worker — socket open, broadcasts drained, nothing ever
+// sent back — for several configured timeouts. One iteration is
+// send-then-recv against a fresh wedged slot; recv must return with the
+// deadline error, so ns/op ≈ the detection latency (configured timeout
+// plus scheduling overhead). Pre-v7 this recv blocked forever.
+func BenchmarkHeartbeatDetection(b *testing.B) {
+	for _, timeout := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond} {
+		b.Run(timeout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				coord, err := Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				coord.SetHeartbeatTimeout(timeout)
+				conn, err := net.Dial("tcp", coord.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+				if err := enc.Encode(Hello{Version: ProtocolVersion, Heartbeat: 10 * time.Millisecond}); err != nil {
+					b.Fatal(err)
+				}
+				var ack HelloAck
+				if err := dec.Decode(&ack); err != nil || ack.Error != "" {
+					b.Fatalf("join failed: %v %q", err, ack.Error)
+				}
+				go func() {
+					buf := make([]byte, 1<<16)
+					for {
+						if _, err := conn.Read(buf); err != nil {
+							return
+						}
+					}
+				}()
+				if err := coord.Accept(1, 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := coord.send(ack.Slot, Broadcast{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := coord.recv(ack.Slot); err == nil {
+					b.Fatal("recv on a wedged slot returned a frame")
+				}
+				b.StopTimer()
+				_ = conn.Close()
+				_ = coord.Close()
+			}
+		})
+	}
+}

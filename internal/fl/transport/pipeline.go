@@ -58,6 +58,11 @@ type Pipeline struct {
 	// OnDispatch, when non-nil, fires after a round's broadcasts are all on
 	// the wire (tests use it to observe overlap deterministically).
 	OnDispatch func(task, round int)
+	// JoinWait, when positive, is how long Dispatch waits for the
+	// coordinator's background accept loop to admit a worker (elastic
+	// membership, v7) when no slot is live, before failing the round. Zero
+	// keeps the fail-fast behaviour.
+	JoinWait time.Duration
 
 	// tmu guards enc, started, trackers and stats (same discipline as the
 	// barrier Runner). Never acquired while holding mu's critical work —
@@ -264,6 +269,13 @@ func (p *Pipeline) Dispatch(task, round int, jobs []fl.Job) error {
 	start := time.Now()
 
 	live := p.coord.liveSlots()
+	if len(live) == 0 && p.JoinWait > 0 {
+		// Elastic membership: wait out a re-dial instead of failing the
+		// dispatch (the freshly admitted slot full-snapshots).
+		if err := p.coord.AwaitLive(1, p.JoinWait); err == nil {
+			live = p.coord.liveSlots()
+		}
+	}
 	if len(live) == 0 {
 		return fmt.Errorf("transport: no live workers to dispatch round %d", round)
 	}

@@ -230,7 +230,14 @@ func TestPipelinedWorkerDeathTwoLiveRounds(t *testing.T) {
 		go func() {
 			defer close(killerDone)
 			defer conn.Close()
-			dec := gob.NewDecoder(conn)
+			enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+			if err := enc.Encode(transport.Hello{Version: transport.ProtocolVersion, WorkerID: 1}); err != nil {
+				return
+			}
+			var ack transport.HelloAck
+			if err := dec.Decode(&ack); err != nil || ack.Error != "" {
+				return
+			}
 			for len(killerRounds) < 2 {
 				var b transport.Broadcast
 				if err := dec.Decode(&b); err != nil {

@@ -54,6 +54,11 @@ type Runner struct {
 	// round dispatch (fedserver logs them). Called synchronously at the end
 	// of Run.
 	OnRound func(RoundStats)
+	// JoinWait, when positive, is how long a round with no live workers
+	// waits for the coordinator's background accept loop to admit one
+	// (elastic membership, v7) before failing. Zero keeps the fail-fast
+	// behaviour: a round that loses every worker errors immediately.
+	JoinWait time.Duration
 
 	// tmu guards enc, started, trackers and stats; tracker structs are only
 	// mutated under it too (acks from different workers land concurrently).
@@ -214,6 +219,14 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 
 	for attempt := 0; ; attempt++ {
 		live := r.coord.liveSlots()
+		if len(live) == 0 && r.JoinWait > 0 {
+			// Elastic membership: instead of failing a round that has
+			// momentarily lost every worker, wait for a re-dial to be
+			// admitted and carry on (the fresh slot full-snapshots).
+			if err := r.coord.AwaitLive(1, r.JoinWait); err == nil {
+				live = r.coord.liveSlots()
+			}
+		}
 		if len(live) == 0 {
 			return fmt.Errorf("transport: no live workers with %d of %d jobs unfinished", len(remaining), len(jobs))
 		}

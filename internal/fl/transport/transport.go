@@ -36,6 +36,16 @@
 // coordinator mirrors equally, so crash-mid-round stays bit-identical. The
 // lossy topk codec is restricted to the broadcast direction; its uploads
 // fall back to the lossless delta.
+//
+// Since protocol v7 membership is elastic: every connection opens with a
+// Hello/HelloAck handshake (worker id, pinned codec, heartbeat interval)
+// against a background accept loop that runs for the coordinator's whole
+// lifetime, so a fresh or restarted worker can dial — or re-dial — mid-run
+// and is admitted into a brand-new slot whose first frame is a full
+// snapshot. Workers that advertise a heartbeat stream Pong updates on it;
+// the coordinator reads those slots under a deadline, so a silently wedged
+// worker (connection open, nothing flowing) is detected within a bounded
+// interval instead of stalling the round until a read error.
 package transport
 
 import (
@@ -77,7 +87,16 @@ import (
 // Broadcast.Replay — an ephemeral snapshot of the origin round's state
 // that the survivor trains against without disturbing its own versioned
 // frame stream.
-const ProtocolVersion = 6
+//
+// v7 makes membership elastic: a worker opens every connection with a
+// Hello{WorkerID, Codec, Heartbeat} frame, and the coordinator — whose
+// accept loop now runs in the background for its whole lifetime — answers
+// with a HelloAck{Slot} after admitting the connection into a fresh,
+// append-only slot. Version mismatches are rejected at the handshake
+// instead of surfacing mid-round. Workers that advertise a heartbeat
+// interval stream Pong updates on it, letting the coordinator bound
+// wedged-worker detection with a per-slot read deadline.
+const ProtocolVersion = 7
 
 // WireTensor is the serialized form of a tensor.
 type WireTensor struct {
@@ -209,15 +228,67 @@ type Update struct {
 	// errors are deterministic, so re-queueing the job elsewhere would
 	// fail identically.
 	Error string
+	// Pong marks a liveness heartbeat (v7): sent on a timer by workers that
+	// advertised a heartbeat interval in their Hello, consumed inside the
+	// coordinator's receive loop without ever surfacing to the round layer.
+	Pong bool
+}
+
+// Hello is the first frame on every worker connection (v7): the membership
+// handshake. The coordinator's background accept loop admits the
+// connection into a fresh slot and answers with a HelloAck, so workers can
+// join — or re-join — at any point in a run.
+type Hello struct {
+	// Version is the worker's protocol revision; the coordinator rejects a
+	// mismatch in the HelloAck without admitting the connection.
+	Version int
+	// WorkerID is the worker's self-reported id (for logs and stats; slots
+	// are assigned by the coordinator).
+	WorkerID int
+	// Codec, when non-empty, names the broadcast codec this worker is
+	// pinned to accept (Executor.ExpectCodec). Advisory: recorded per slot
+	// for observability, enforced worker-side.
+	Codec string
+	// Heartbeat, when positive, is the interval on which this worker will
+	// stream Pong updates. The coordinator arms a read deadline on the slot
+	// (SetHeartbeatTimeout, default 4x this interval), so a silently wedged
+	// worker is detected within a bounded interval.
+	Heartbeat time.Duration
+}
+
+// HelloAck is the coordinator's handshake reply.
+type HelloAck struct {
+	// Version is the coordinator's protocol revision.
+	Version int
+	// Slot is the admitted worker slot. Slots are append-only: a re-dialing
+	// worker gets a fresh slot (its old one stays dead) and, holding no
+	// base version there, a full state snapshot on its first frame.
+	Slot int
+	// Error, when non-empty, reports a rejected handshake; the coordinator
+	// closes the connection after sending it.
+	Error string
 }
 
 // Coordinator runs the server side of a federation. Worker connections
 // that fail are marked dead and skipped from then on — the round layer
 // (Runner) decides whether a death fails the round or re-queues work.
 type Coordinator struct {
-	ln      net.Listener
-	mu      sync.Mutex
-	workers []*wireConn
+	ln net.Listener
+	mu sync.Mutex
+	// joinCond (sharing mu) signals membership changes — admissions from
+	// the background accept loop, and Close — to Accept/AwaitLive waiters.
+	joinCond *sync.Cond
+	workers  []*wireConn
+	// joined counts admissions the background accept loop has ever made;
+	// accepted is the cursor successive Accept calls have consumed from it.
+	// Tracking a cursor instead of "joins since the call" keeps Accept
+	// correct when a worker dials before Accept runs — with admission in
+	// the background that ordering is routine.
+	joined   int
+	accepted int
+	// heartbeatTimeout overrides the read deadline for slots whose Hello
+	// advertised a heartbeat; zero means 4x the advertised interval.
+	heartbeatTimeout time.Duration
 	// closed marks the coordinator shut down: slot lookups error instead of
 	// indexing a nil workers slice (Close may race a straggling round
 	// goroutine's send/recv/markDead).
@@ -234,6 +305,11 @@ type wireConn struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	dead bool
+	// id/codec/heartbeat are the Hello metadata the slot was admitted with
+	// (v7); immutable after admission.
+	id        int
+	codec     string
+	heartbeat time.Duration
 }
 
 // countedConn wraps a worker connection so every byte moved in either
@@ -255,52 +331,176 @@ func (c countedConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Listen starts a coordinator on addr (e.g. "127.0.0.1:0").
+// Listen starts a coordinator on addr (e.g. "127.0.0.1:0") and its
+// background accept loop: from this moment workers can dial — and
+// re-dial — at any point, without a matching Accept call.
 func Listen(addr string) (*Coordinator, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &Coordinator{ln: ln}, nil
+	c := &Coordinator{ln: ln}
+	c.joinCond = sync.NewCond(&c.mu)
+	go c.acceptLoop()
+	return c, nil
 }
 
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Accept blocks until n more workers have connected.
-func (c *Coordinator) Accept(n int, timeout time.Duration) error {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		return fmt.Errorf("transport: accepting on a closed coordinator")
-	}
-	deadline := time.Now().Add(timeout)
-	for i := 0; i < n; i++ {
-		if tl, ok := c.ln.(*net.TCPListener); ok {
-			if err := tl.SetDeadline(deadline); err != nil {
-				return fmt.Errorf("transport: set deadline: %w", err)
-			}
-		}
+// helloTimeout bounds the membership handshake: a connection that does not
+// deliver its Hello within it is dropped without ever occupying a slot, so
+// a port-scanning or wedged dialer cannot pin coordinator resources.
+const helloTimeout = 10 * time.Second
+
+// acceptLoop admits workers for the coordinator's whole lifetime (v7):
+// membership is elastic, so accepting is a background activity rather than
+// a startup phase. Each connection handshakes on its own goroutine — a
+// stalled dialer never blocks other joins. The loop exits when Close
+// closes the listener.
+func (c *Coordinator) acceptLoop() {
+	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("transport: accepting worker %d/%d: %w", i+1, n, err)
+			return
 		}
-		cc := countedConn{Conn: conn, in: &c.bytesIn, out: &c.bytesOut}
-		c.mu.Lock()
-		if c.closed {
-			// Close ran while this Accept was blocked: the coordinator's
-			// connections are already torn down, so the fresh one must not
-			// be appended (it would leak, and the worker would block on a
-			// half-open conn forever).
-			c.mu.Unlock()
-			_ = conn.Close()
-			return fmt.Errorf("transport: coordinator closed while accepting")
-		}
-		c.workers = append(c.workers, &wireConn{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)})
+		go c.admit(conn)
+	}
+}
+
+// admit runs the v7 join handshake on a fresh connection: decode the
+// worker's Hello under a deadline, reject version mismatches before they
+// can mis-decode a round frame, then append a brand-new slot and answer
+// with its HelloAck. Slots are append-only — a re-dialing worker gets a
+// fresh slot whose lack of a base version makes its first frame a full
+// snapshot, so re-joins are state-correct by construction. The HelloAck is
+// encoded under mu, before the slot becomes visible to send/recv, so the
+// handshake never races a round broadcast on the same gob stream.
+func (c *Coordinator) admit(conn net.Conn) {
+	cc := countedConn{Conn: conn, in: &c.bytesIn, out: &c.bytesOut}
+	w := &wireConn{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+	_ = conn.SetDeadline(time.Now().Add(helloTimeout))
+	var h Hello
+	if err := w.dec.Decode(&h); err != nil {
+		_ = conn.Close()
+		return
+	}
+	if h.Version != ProtocolVersion {
+		_ = w.enc.Encode(HelloAck{Version: ProtocolVersion, Error: fmt.Sprintf("coordinator speaks protocol v%d, worker %d dialed with v%d", ProtocolVersion, h.WorkerID, h.Version)})
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	w.id, w.codec, w.heartbeat = h.WorkerID, h.Codec, h.Heartbeat
+	c.mu.Lock()
+	if c.closed {
+		// Close ran while this handshake was in flight: the coordinator's
+		// connections are already torn down, so the fresh one must not be
+		// appended (it would leak, and the worker would block on a
+		// half-open conn forever).
 		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	slot := len(c.workers)
+	if err := w.enc.Encode(HelloAck{Version: ProtocolVersion, Slot: slot}); err != nil {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	c.workers = append(c.workers, w)
+	c.joined++
+	c.joinCond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Accept blocks until n more workers — beyond those previous Accept calls
+// already consumed — have completed the join handshake. Admission itself
+// happens on the background accept loop, so a worker that dialed before
+// Accept was called still counts; the timeout is a plain wait with no
+// listener deadline armed (or left armed) at all, which also makes it
+// listener-agnostic.
+func (c *Coordinator) Accept(n int, timeout time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("transport: accepting on a closed coordinator")
+	}
+	target := c.accepted + n
+	if err := c.waitJoin(timeout, func() bool { return c.joined >= target }); err != nil {
+		return fmt.Errorf("transport: accepting worker %d/%d: %w", c.joined-c.accepted+1, n, err)
+	}
+	c.accepted = target
+	return nil
+}
+
+// AwaitLive blocks until at least n workers are simultaneously live, or
+// the timeout elapses. It is the elastic-membership gate: round layers use
+// it to wait out a re-dial instead of failing a round that momentarily has
+// no workers.
+func (c *Coordinator) AwaitLive(n int, timeout time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("transport: awaiting workers on a closed coordinator")
+	}
+	live := func() bool {
+		cnt := 0
+		for _, w := range c.workers {
+			if !w.dead {
+				cnt++
+			}
+		}
+		return cnt >= n
+	}
+	if err := c.waitJoin(timeout, live); err != nil {
+		return fmt.Errorf("transport: awaiting %d live workers: %w", n, err)
 	}
 	return nil
+}
+
+// waitJoin blocks on joinCond — mu held — until ok() holds, the timeout
+// elapses, or the coordinator closes. sync.Cond has no timed wait, so a
+// timer broadcasts the condition at the deadline to wake the waiter.
+func (c *Coordinator) waitJoin(timeout time.Duration, ok func() bool) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.joinCond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+	for !ok() {
+		if c.closed {
+			return fmt.Errorf("coordinator closed while waiting")
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("timed out after %v", timeout)
+		}
+		c.joinCond.Wait()
+	}
+	return nil
+}
+
+// SetHeartbeatTimeout overrides how long the coordinator waits for traffic
+// (acks or Pong heartbeats) from a heartbeating worker before declaring it
+// dead. Zero restores the default of 4x the worker's advertised interval.
+// Slots whose Hello advertised no heartbeat read without a deadline.
+func (c *Coordinator) SetHeartbeatTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatTimeout = d
+}
+
+// WorkerInfo reports the Hello metadata a slot was admitted with.
+func (c *Coordinator) WorkerInfo(slot int) (id int, codec string, heartbeat time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || slot < 0 || slot >= len(c.workers) {
+		return 0, "", 0, false
+	}
+	w := c.workers[slot]
+	return w.id, w.codec, w.heartbeat, true
 }
 
 // NumWorkers returns how many workers have ever connected.
@@ -380,20 +580,51 @@ func (c *Coordinator) send(slot int, b Broadcast) error {
 	return nil
 }
 
-// recv decodes one update from the given worker slot. A failed decode
-// marks the worker dead; a recv after Close errors without touching
-// anything.
+// readTimeout returns the read deadline for a slot: zero (no deadline) for
+// workers that advertised no heartbeat, otherwise the configured override
+// or 4x the advertised interval.
+func (c *Coordinator) readTimeout(w *wireConn) time.Duration {
+	if w.heartbeat <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.heartbeatTimeout > 0 {
+		return c.heartbeatTimeout
+	}
+	return 4 * w.heartbeat
+}
+
+// recv decodes one round update from the given worker slot, consuming Pong
+// heartbeats internally. Slots whose Hello advertised a heartbeat read
+// under a deadline (re-armed per frame, so each Pong proves liveness): a
+// wedged worker — connection open, nothing flowing — is marked dead when
+// the deadline fires, within a bounded interval, instead of stalling the
+// round until a read error that may never come. A failed decode marks the
+// worker dead; a recv after Close errors without touching anything.
 func (c *Coordinator) recv(slot int) (Update, error) {
 	w, err := c.slot(slot)
 	if err != nil {
 		return Update{}, err
 	}
-	var u Update
-	if err := w.dec.Decode(&u); err != nil {
-		c.markDead(slot)
-		return Update{}, fmt.Errorf("transport: receiving from worker %d: %w", slot, err)
+	timeout := c.readTimeout(w)
+	for {
+		if timeout > 0 {
+			_ = w.conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+		var u Update
+		if err := w.dec.Decode(&u); err != nil {
+			c.markDead(slot)
+			return Update{}, fmt.Errorf("transport: receiving from worker %d: %w", slot, err)
+		}
+		if u.Pong {
+			continue
+		}
+		if timeout > 0 {
+			_ = w.conn.SetReadDeadline(time.Time{})
+		}
+		return u, nil
 	}
-	return u, nil
 }
 
 // Shutdown tells every live worker to exit its serve loop. It is
@@ -423,6 +654,9 @@ func (c *Coordinator) Close() error {
 		_ = w.conn.Close()
 	}
 	c.workers = nil
+	// Wake Accept/AwaitLive waiters so they observe closed; closing the
+	// listener also ends the background accept loop.
+	c.joinCond.Broadcast()
 	return c.ln.Close()
 }
 
@@ -432,15 +666,95 @@ type Worker struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	// sendMu serializes outgoing updates: Serve's job acks and final
+	// frames interleave with the heartbeat goroutine's Pong frames on the
+	// one gob stream.
+	sendMu sync.Mutex
+	// stop ends the heartbeat goroutine; stopOnce makes Close idempotent.
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
-// Dial connects a worker to the coordinator.
+// DialOptions configures DialWith.
+type DialOptions struct {
+	// Timeout bounds both the TCP dial and the join handshake. Zero means
+	// no bound — a half-open coordinator then hangs the worker forever, so
+	// deployments should set it (cmd/fedworker defaults to 10s).
+	Timeout time.Duration
+	// Codec, when non-empty, is advertised in the Hello as the broadcast
+	// codec this worker is pinned to accept.
+	Codec string
+	// Heartbeat, when positive, starts a background goroutine streaming
+	// Pong updates on this interval, so the coordinator can bound its
+	// wedged-worker detection with a read deadline. It runs independently
+	// of job execution: a worker busy training still proves liveness — the
+	// heartbeat distinguishes slow from wedged.
+	Heartbeat time.Duration
+}
+
+// Dial connects a worker to the coordinator with default options.
 func Dial(addr string, id int) (*Worker, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, id, DialOptions{})
+}
+
+// DialWith connects a worker to the coordinator and runs the v7 join
+// handshake — send Hello, await HelloAck — so version mismatches and
+// rejections surface here, at dial time, instead of mid-round.
+func DialWith(addr string, id int, opts DialOptions) (*Worker, error) {
+	d := net.Dialer{Timeout: opts.Timeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &Worker{id: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	w := &Worker{id: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), stop: make(chan struct{})}
+	if opts.Timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(opts.Timeout))
+	}
+	if err := w.enc.Encode(Hello{Version: ProtocolVersion, WorkerID: id, Codec: opts.Codec, Heartbeat: opts.Heartbeat}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: worker %d hello: %w", id, err)
+	}
+	var ack HelloAck
+	if err := w.dec.Decode(&ack); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: worker %d awaiting hello ack: %w", id, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if ack.Error != "" {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: worker %d rejected at join: %s", id, ack.Error)
+	}
+	if ack.Version != ProtocolVersion {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: worker %d speaks protocol v%d, coordinator answered v%d", id, ProtocolVersion, ack.Version)
+	}
+	if opts.Heartbeat > 0 {
+		go w.heartbeatLoop(opts.Heartbeat)
+	}
+	return w, nil
+}
+
+// send serializes one update onto the shared gob stream.
+func (w *Worker) send(u Update) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return w.enc.Encode(u)
+}
+
+// heartbeatLoop streams Pong updates until Close or a send failure.
+func (w *Worker) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if w.send(Update{Version: ProtocolVersion, WorkerID: w.id, Pong: true}) != nil {
+				return
+			}
+		}
+	}
 }
 
 // Serve processes broadcasts until the coordinator sends Done or the
@@ -470,14 +784,20 @@ func (w *Worker) Serve(handle func(b Broadcast, emit func(JobResult) error) erro
 			return nil
 		} else {
 			emit := func(jr JobResult) error {
-				return w.enc.Encode(Update{WorkerID: w.id, Version: ProtocolVersion, Results: []JobResult{jr}})
+				return w.send(Update{WorkerID: w.id, Version: ProtocolVersion, Results: []JobResult{jr}})
 			}
 			if err := handle(b, emit); err != nil {
 				fatal = fmt.Errorf("transport: worker %d handler: %w", w.id, err)
 				final.Error = err.Error()
 			}
 		}
-		if err := w.enc.Encode(final); err != nil {
+		if err := w.send(final); err != nil {
+			if fatal != nil {
+				// The handler/version failure is the real story — when the
+				// coordinator is already gone the final frame always fails
+				// too, and reporting only the send would mask the cause.
+				return fmt.Errorf("%w (final frame not sent: %v)", fatal, err)
+			}
 			return fmt.Errorf("transport: worker %d send: %w", w.id, err)
 		}
 		if fatal != nil {
@@ -486,5 +806,8 @@ func (w *Worker) Serve(handle func(b Broadcast, emit func(JobResult) error) erro
 	}
 }
 
-// Close closes the worker connection.
-func (w *Worker) Close() error { return w.conn.Close() }
+// Close closes the worker connection and stops its heartbeat goroutine.
+func (w *Worker) Close() error {
+	w.stopOnce.Do(func() { close(w.stop) })
+	return w.conn.Close()
+}

@@ -210,6 +210,23 @@ func acceptInOrder(t *testing.T, coord *Coordinator, serve ...func(w *Worker) er
 	return done
 }
 
+// fakeCoordHandshake answers a dialing Worker's v7 Hello on a raw test
+// listener connection, returning the connection's gob streams for the
+// round frames (gob streams are stateful, so the handshake and the rounds
+// must share them).
+func fakeCoordHandshake(t *testing.T, conn net.Conn) (*gob.Encoder, *gob.Decoder) {
+	t.Helper()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	var h Hello
+	if err := dec.Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(HelloAck{Version: ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	return enc, dec
+}
+
 // TestRunnerStreamsPerJobAcks drives the v3 flow end to end over loopback:
 // three jobs fan out over two workers, each worker streams one ack per job
 // plus a Done frame, and the Runner maps the acks back into job order.
@@ -552,11 +569,12 @@ func TestWorkerRejectsVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(Broadcast{Version: ProtocolVersion + 1}); err != nil {
+	enc, dec := fakeCoordHandshake(t, conn)
+	if err := enc.Encode(Broadcast{Version: ProtocolVersion + 1}); err != nil {
 		t.Fatal(err)
 	}
 	var u Update
-	if err := gob.NewDecoder(conn).Decode(&u); err != nil {
+	if err := dec.Decode(&u); err != nil {
 		t.Fatal(err)
 	}
 	if u.Error == "" || !strings.Contains(u.Error, "protocol") {
@@ -593,12 +611,22 @@ func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		var b Broadcast
-		if err := gob.NewDecoder(conn).Decode(&b); err != nil {
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		if err := enc.Encode(Hello{Version: ProtocolVersion, WorkerID: 0}); err != nil {
 			done <- err
 			return
 		}
-		done <- gob.NewEncoder(conn).Encode(Update{Version: ProtocolVersion - 1, Done: true})
+		var ack HelloAck
+		if err := dec.Decode(&ack); err != nil {
+			done <- err
+			return
+		}
+		var b Broadcast
+		if err := dec.Decode(&b); err != nil {
+			done <- err
+			return
+		}
+		done <- enc.Encode(Update{Version: ProtocolVersion - 1, Done: true})
 	}()
 	if err := coord.Accept(1, 5*time.Second); err != nil {
 		t.Fatal(err)
@@ -798,11 +826,12 @@ func TestWorkerChecksVersionBeforeDone(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(Broadcast{Version: ProtocolVersion + 1, Done: true}); err != nil {
+	enc, dec := fakeCoordHandshake(t, conn)
+	if err := enc.Encode(Broadcast{Version: ProtocolVersion + 1, Done: true}); err != nil {
 		t.Fatal(err)
 	}
 	var u Update
-	if err := gob.NewDecoder(conn).Decode(&u); err != nil {
+	if err := dec.Decode(&u); err != nil {
 		t.Fatal(err)
 	}
 	if u.Error == "" || !strings.Contains(u.Error, "protocol") {
