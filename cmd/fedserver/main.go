@@ -52,12 +52,19 @@
 //
 // -pprof ADDR serves the net/http/pprof endpoints for live CPU/heap
 // profiling of a running coordinator (see README "Performance").
+//
+// -metrics ADDR serves a Prometheus /metrics page (round, byte,
+// frame-kind, liveness, admission and checkpoint series that reconcile
+// with the wire totals); -trace FILE records the round/job lifecycle as a
+// Chrome trace-event file loadable in Perfetto. Both are off by default
+// and cost nothing when disabled (see README "Observability").
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,6 +78,7 @@ import (
 	"reffil/internal/fl/wire"
 	"reffil/internal/model"
 	"reffil/internal/profiling"
+	"reffil/internal/telemetry"
 )
 
 func main() {
@@ -98,6 +106,14 @@ func perRound(total, rounds int64) int64 {
 		return 0
 	}
 	return total / rounds
+}
+
+// visitedFlags returns the explicitly set command-line flags, for the run
+// manifest in the trace header.
+func visitedFlags() map[string]string {
+	m := make(map[string]string)
+	flag.Visit(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
 }
 
 func run() error {
@@ -132,6 +148,9 @@ func run() error {
 		codec     = flag.String("codec", "full", "broadcast codec: "+strings.Join(wire.Names(), "|")+" (delta sends per-key diffs against each worker's acked base and re-sends method wire state only when it changes; full and delta are bit-identical)")
 		wireLog   = flag.Bool("wire-log", true, "log per-round wire statistics (bytes broadcast/uploaded, frame kinds, fallbacks)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables profiling)")
+
+		metricsAddr = flag.String("metrics", "", "serve a Prometheus /metrics page on this address (e.g. localhost:9090; also mounted on the -pprof server; empty disables metrics)")
+		traceFile   = flag.String("trace", "", "record the round/job lifecycle as a Chrome trace-event file at this path (load in Perfetto; empty disables tracing)")
 	)
 	flag.Parse()
 	if *straggler > 0 && *staleness < 1 {
@@ -140,6 +159,37 @@ func run() error {
 	if *ckptDir != "" && *staleness > 0 {
 		return fmt.Errorf("-checkpoint-dir needs -staleness 0: mid-task snapshots under a staleness window omit in-flight results, so a resume would not be bit-identical")
 	}
+	// Telemetry is strictly opt-in: with both flags empty sink stays nil
+	// and every instrumentation point below is a nil-receiver no-op, so
+	// hot paths stay allocation-free and outputs bit-identical.
+	var (
+		reg  *telemetry.Registry
+		sink *telemetry.Sink
+	)
+	startTime := time.Now()
+	runID := telemetry.NewRunID(*seed, startTime)
+	if *metricsAddr != "" || *traceFile != "" {
+		var trc *telemetry.Tracer
+		if *metricsAddr != "" {
+			reg = telemetry.NewRegistry()
+			// DefaultServeMux too, so a -pprof server scrapes at /metrics.
+			http.Handle("/metrics", reg.Handler())
+		}
+		if *traceFile != "" {
+			var err error
+			trc, err = telemetry.CreateTrace(*traceFile)
+			if err != nil {
+				return err
+			}
+		}
+		sink = telemetry.NewSink(reg, trc)
+		defer sink.Close()
+	}
+	// One structured logger for the wire/lifecycle lines, sharing the run
+	// id — and, when tracing, the timeline — with the telemetry sink.
+	wlog := telemetry.NewLogger(os.Stdout, telemetry.F("run", runID))
+	wlog.Tracer = sink.Tracer()
+
 	if *pprofAddr != "" {
 		bound, err := profiling.Serve(*pprofAddr)
 		if err != nil {
@@ -147,6 +197,19 @@ func run() error {
 		}
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", bound)
 	}
+	if *metricsAddr != "" {
+		bound, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics listening on http://%s/metrics\n", bound)
+	}
+	sink.StartRun(telemetry.Manifest{
+		RunID: runID, Role: "fedserver",
+		Method: *method, Dataset: *dataset, Codec: *codec,
+		Seed: *seed, Protocol: transport.ProtocolVersion, Start: startTime,
+		Flags: visitedFlags(),
+	})
 
 	family, err := data.NewFamily(*dataset, 16)
 	if err != nil {
@@ -167,23 +230,29 @@ func run() error {
 	}
 	defer coord.Close()
 	coord.SetHeartbeatTimeout(*hbTimeout)
+	coord.SetTelemetry(sink)
 	need := *workers
 	if *minWorkers > 0 {
 		need = *minWorkers
 	}
-	fmt.Printf("listening on %s, waiting for %d workers (more may join mid-run)...\n", coord.Addr(), need)
+	wlog.Event("listening", telemetry.F("addr", coord.Addr()), telemetry.F("waiting_for", need))
 	if err := coord.Accept(need, *timeout); err != nil {
 		return err
 	}
-	fmt.Println("workers connected, starting")
+	wlog.Event("workers_connected")
 
 	onRound := func(rs transport.RoundStats) {
-		fmt.Printf("[wire] task %d round %d: broadcast %s, uploads %s (%d patch/%d full), frames %d full/%d delta/%d idle, %d fallbacks (%d upload), %d attempts, dispatch %.1fms, acks %.1f-%.1fms, overlap %.0f%%\n",
-			rs.Task, rs.Round, fmtBytes(rs.BroadcastBytes), fmtBytes(rs.UploadBytes),
-			rs.PatchUploads, rs.StateUploads,
-			rs.FullFrames, rs.DeltaFrames, rs.IdleFrames, rs.Fallbacks, rs.UploadFallbacks, rs.Attempts,
-			float64(rs.DispatchNanos)/1e6, float64(rs.FirstAckNanos)/1e6, float64(rs.LastAckNanos)/1e6,
-			rs.OverlapRatio()*100)
+		wlog.Event("wire_round",
+			telemetry.F("task", rs.Task), telemetry.F("round", rs.Round),
+			telemetry.F("broadcast", fmtBytes(rs.BroadcastBytes)), telemetry.F("uploads", fmtBytes(rs.UploadBytes)),
+			telemetry.F("patch", rs.PatchUploads), telemetry.F("full_up", rs.StateUploads),
+			telemetry.F("full", rs.FullFrames), telemetry.F("delta", rs.DeltaFrames), telemetry.F("idle", rs.IdleFrames),
+			telemetry.F("fallbacks", rs.Fallbacks), telemetry.F("upload_fallbacks", rs.UploadFallbacks),
+			telemetry.F("attempts", rs.Attempts),
+			telemetry.F("dispatch_ms", fmt.Sprintf("%.1f", float64(rs.DispatchNanos)/1e6)),
+			telemetry.F("first_ack_ms", fmt.Sprintf("%.1f", float64(rs.FirstAckNanos)/1e6)),
+			telemetry.F("last_ack_ms", fmt.Sprintf("%.1f", float64(rs.LastAckNanos)/1e6)),
+			telemetry.F("overlap_pct", fmt.Sprintf("%.0f", rs.OverlapRatio()*100)))
 	}
 	// Both transports expose the same engine-facing and accounting surface;
 	// -pipeline swaps the barrier Runner for the pipelined one.
@@ -201,6 +270,7 @@ func run() error {
 		}
 		pl.Requeue = *requeue
 		pl.JoinWait = *joinWait
+		pl.Telemetry = sink
 		if *wireLog {
 			pl.OnRound = onRound
 		}
@@ -215,6 +285,7 @@ func run() error {
 		}
 		br.Requeue = *requeue
 		br.JoinWait = *joinWait
+		br.Telemetry = sink
 		if *wireLog {
 			br.OnRound = onRound
 		}
@@ -233,6 +304,7 @@ func run() error {
 			Inner:     tr,
 			Staleness: *staleness,
 			Delay:     fl.StragglerDelay(*seed, *straggler, *staleness),
+			Telemetry: sink,
 		}
 	}
 	cfg := fl.Config{
@@ -255,6 +327,7 @@ func run() error {
 		return err
 	}
 	eng.Progress = func(msg string) { fmt.Println(msg) }
+	eng.Telemetry = sink
 
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -280,7 +353,8 @@ func run() error {
 			return err
 		}
 		eng.Checkpoint = func(st fl.ResumeState) error {
-			return checkpoint.SaveRunStateFile(path, &checkpoint.RunState{
+			begin := time.Now()
+			err := checkpoint.SaveRunStateFile(path, &checkpoint.RunState{
 				Method:     *method,
 				Seed:       *seed,
 				NextTask:   st.NextTask,
@@ -290,6 +364,14 @@ func run() error {
 				Payload:    st.Payload,
 				HasPayload: st.HasPayload,
 			})
+			if err == nil && sink != nil {
+				var bytes int64
+				if fi, serr := os.Stat(path); serr == nil {
+					bytes = fi.Size()
+				}
+				sink.CheckpointWritten(st.NextTask, st.NextRound, bytes, time.Since(begin))
+			}
+			return err
 		}
 	}
 

@@ -35,11 +35,16 @@
 // -pprof ADDR serves the net/http/pprof endpoints for live CPU/heap
 // profiling of a running worker — the side where the kernel hot paths
 // (local training) actually burn (see README "Performance").
+//
+// -metrics ADDR serves a Prometheus /metrics page with this worker's
+// round/job counters; -trace FILE records its round lifecycle as a Chrome
+// trace-event file. Both are off by default (see README "Observability").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,7 +58,16 @@ import (
 	"reffil/internal/fl/wire"
 	"reffil/internal/model"
 	"reffil/internal/profiling"
+	"reffil/internal/telemetry"
 )
+
+// visitedFlags returns the explicitly set command-line flags, for the run
+// manifest in the trace header.
+func visitedFlags() map[string]string {
+	m := make(map[string]string)
+	flag.Visit(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -83,8 +97,38 @@ func run() error {
 		dialBackoff = flag.Duration("dial-backoff", 500*time.Millisecond, "initial delay between dial retries, doubling per attempt")
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "stream liveness heartbeats to the coordinator on this interval so wedge detection is bounded (0 disables)")
 		rejoin      = flag.Int("rejoin", 0, "re-dial and re-join a lost coordinator up to this many times (0 = exit on first disconnect)")
+
+		metricsAddr = flag.String("metrics", "", "serve a Prometheus /metrics page on this address (also mounted on the -pprof server; empty disables metrics)")
+		traceFile   = flag.String("trace", "", "record this worker's round lifecycle as a Chrome trace-event file at this path (empty disables tracing)")
 	)
 	flag.Parse()
+	// Telemetry is strictly opt-in: with both flags empty sink stays nil and
+	// every instrumentation point below is a nil-receiver no-op.
+	var (
+		reg  *telemetry.Registry
+		sink *telemetry.Sink
+	)
+	startTime := time.Now()
+	runID := telemetry.NewRunID(*seed, startTime)
+	if *metricsAddr != "" || *traceFile != "" {
+		var trc *telemetry.Tracer
+		if *metricsAddr != "" {
+			reg = telemetry.NewRegistry()
+			http.Handle("/metrics", reg.Handler())
+		}
+		if *traceFile != "" {
+			var err error
+			trc, err = telemetry.CreateTrace(*traceFile)
+			if err != nil {
+				return err
+			}
+		}
+		sink = telemetry.NewSink(reg, trc)
+		defer sink.Close()
+	}
+	wlog := telemetry.NewLogger(os.Stdout, telemetry.F("run", runID), telemetry.F("worker", *id))
+	wlog.Tracer = sink.Tracer()
+
 	if *pprof != "" {
 		bound, err := profiling.Serve(*pprof)
 		if err != nil {
@@ -92,6 +136,19 @@ func run() error {
 		}
 		fmt.Printf("worker %d: pprof listening on http://%s/debug/pprof/\n", *id, bound)
 	}
+	if *metricsAddr != "" {
+		bound, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worker %d: metrics listening on http://%s/metrics\n", *id, bound)
+	}
+	sink.StartRun(telemetry.Manifest{
+		RunID: runID, Role: "fedworker",
+		Method: *method, Dataset: *dataset, Codec: *codec,
+		Seed: *seed, Protocol: transport.ProtocolVersion, Start: startTime,
+		Flags: visitedFlags(),
+	})
 
 	family, err := data.NewFamily(*dataset, 16)
 	if err != nil {
@@ -137,7 +194,7 @@ func run() error {
 	dial := func() (*transport.Worker, error) {
 		w, err := transport.DialWith(*addr, *id, opts)
 		for backoff, attempt := *dialBackoff, 0; err != nil && attempt < *dialRetries; attempt++ {
-			fmt.Printf("worker %d: dial %s failed (%v), retrying in %v\n", *id, *addr, err, backoff)
+			wlog.Event("dial_retry", telemetry.F("addr", *addr), telemetry.F("error", err.Error()), telemetry.F("backoff", backoff.String()))
 			time.Sleep(backoff)
 			backoff *= 2
 			w, err = transport.DialWith(*addr, *id, opts)
@@ -145,6 +202,7 @@ func run() error {
 		return w, err
 	}
 	handle := func(b transport.Broadcast, emit func(transport.JobResult) error) error {
+		begin := time.Now()
 		trained := 0
 		if err := ex.Handle(b, func(jr transport.JobResult) error {
 			trained++
@@ -152,7 +210,8 @@ func run() error {
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("worker %d: task %d round %d: trained %d clients\n", *id, b.Task, b.Round, trained)
+		sink.WorkerRound(b.Task, b.Round, trained, time.Since(begin))
+		wlog.Event("round_done", telemetry.F("task", b.Task), telemetry.F("round", b.Round), telemetry.F("trained", trained))
 		return nil
 	}
 
@@ -165,7 +224,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("worker %d: connected to %s as %s on %s\n", *id, *addr, alg.Name(), family.Name)
+		wlog.Event("connected", telemetry.F("addr", *addr), telemetry.F("method", alg.Name()), telemetry.F("dataset", family.Name))
 		err = w.Serve(handle)
 		_ = w.Close()
 		if err == nil {
@@ -174,6 +233,6 @@ func run() error {
 		if attempt >= *rejoin {
 			return err
 		}
-		fmt.Printf("worker %d: connection lost (%v), re-joining (%d/%d)\n", *id, err, attempt+1, *rejoin)
+		wlog.Event("rejoin", telemetry.F("error", err.Error()), telemetry.F("attempt", attempt+1), telemetry.F("max", *rejoin))
 	}
 }

@@ -21,9 +21,15 @@
 // (bit-identity is only guaranteed at S=0 or with no stragglers).
 //
 //	go run ./examples/tcp_federation
+//
+// -metrics ADDR serves the telemetry registry's Prometheus /metrics page
+// for the duration of the demo (the CI smoke test scrapes it);
+// -metrics-linger keeps the process alive that long after the runs finish
+// so an external scraper can read the final counter values.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sync"
@@ -35,6 +41,7 @@ import (
 	"reffil/internal/fl/transport"
 	"reffil/internal/metrics"
 	"reffil/internal/model"
+	"reffil/internal/telemetry"
 )
 
 const (
@@ -44,7 +51,15 @@ const (
 	algSeed    = 7
 )
 
+var (
+	metricsAddr   = flag.String("metrics", "", "serve a Prometheus /metrics page on this address (empty disables)")
+	metricsLinger = flag.Duration("metrics-linger", 0, "keep the process alive this long after the runs finish so /metrics can be scraped")
+
+	sink *telemetry.Sink
+)
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "tcp_federation:", err)
 		os.Exit(1)
@@ -74,6 +89,19 @@ func newAlg(family *data.Family, tasks int) (fl.Algorithm, error) {
 }
 
 func run() error {
+	// Telemetry covers the first (barrier) networked run; the demo's later
+	// passes rerun the same mechanics, so one instrumented run is enough for
+	// the CI metrics smoke test to reconcile against.
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		sink = telemetry.NewSink(reg, nil)
+		bound, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics listening on http://%s/metrics\n", bound)
+	}
+
 	family, err := data.NewFamily("pacs", 16)
 	if err != nil {
 		return err
@@ -85,6 +113,7 @@ func run() error {
 		return err
 	}
 	defer coord.Close()
+	coord.SetTelemetry(sink)
 	fmt.Println("coordinator listening on", coord.Addr())
 
 	var wg sync.WaitGroup
@@ -112,6 +141,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	runner.Telemetry = sink
 	if err := runner.UseCodec("delta"); err != nil {
 		return err
 	}
@@ -125,6 +155,7 @@ func run() error {
 		return err
 	}
 	eng.Progress = func(msg string) { fmt.Println("  " + msg) }
+	eng.Telemetry = sink
 	tcpMat, err := eng.Run(family, domains)
 	if err != nil {
 		return err
@@ -168,7 +199,14 @@ func run() error {
 	if err := runAsync(family, domains); err != nil {
 		return err
 	}
-	return runPipelined(family, domains, tcpMat)
+	if err := runPipelined(family, domains, tcpMat); err != nil {
+		return err
+	}
+	if *metricsLinger > 0 {
+		fmt.Printf("lingering %v for /metrics scrapes\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
+	return nil
 }
 
 // runAsync reruns the federation over TCP with bounded-staleness rounds:

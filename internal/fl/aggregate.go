@@ -65,6 +65,21 @@ func NewAccumulator() *Accumulator { return &Accumulator{} }
 // Folded reports how many client updates have been folded in.
 func (a *Accumulator) Folded() int { return len(a.weights) }
 
+// UnanimityStats reports how many keys are still bit-identically unanimous
+// across every folded dict and how many broke unanimity (materializing an
+// accumulated sum). Valid after Finalize too — Finalize reads the witness
+// without mutating it. Zero/zero before the first fold.
+func (a *Accumulator) UnanimityStats() (unanimousKeys, brokenKeys int) {
+	for _, u := range a.unanimous {
+		if u {
+			unanimousKeys++
+		} else {
+			brokenKeys++
+		}
+	}
+	return
+}
+
 // Fold adds one client's update with the given positive FedAvg weight.
 // Validation matches WeightedAverage: the first folded dict fixes the key
 // set and shapes, and every later dict must agree exactly.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"reffil/internal/telemetry"
 )
 
 // TaggedResult is one result admitted into an asynchronous round, carrying
@@ -86,6 +88,10 @@ type AsyncRunner struct {
 	// rescales fresh rounds too) and must be positive — FedAvg rejects
 	// non-positive weights.
 	Discount func(staleness int) float64
+	// Telemetry, when non-nil, receives admission-queue depth, staleness
+	// distribution, discounted weight mass and drop events. Observation
+	// only — admission order and weights are unaffected.
+	Telemetry *telemetry.Sink
 
 	task    int
 	pending []pendingResult
@@ -236,6 +242,7 @@ func (a *AsyncRunner) RunRoundStream(task, round int, jobs []Job, drain bool, ad
 		}
 		if d > a.Staleness {
 			a.dropped++ // beyond the bound: discarded like a dropout
+			a.Telemetry.ResultDropped(round)
 			if pipelined {
 				dp.Discard(round, i)
 			}
@@ -249,6 +256,7 @@ func (a *AsyncRunner) RunRoundStream(task, round int, jobs []Job, drain bool, ad
 		}
 		a.pending = append(a.pending, p)
 	}
+	a.Telemetry.QueueDepth(len(a.pending))
 	return nil
 }
 
@@ -260,13 +268,15 @@ func (a *AsyncRunner) admit(p pendingResult, round int) TaggedResult {
 	if a.Discount != nil {
 		disc = a.Discount
 	}
-	return TaggedResult{
+	tr := TaggedResult{
 		ClientID:  p.clientID,
 		Origin:    p.origin,
 		Staleness: k,
 		Weight:    p.baseWeight * disc(k),
 		Result:    p.res,
 	}
+	a.Telemetry.ResultAdmitted(round, tr.Origin, tr.Staleness, tr.Weight)
+	return tr
 }
 
 // Run implements the plain synchronous Runner contract by delegating to

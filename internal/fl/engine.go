@@ -3,10 +3,12 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"reffil/internal/data"
 	"reffil/internal/metrics"
 	"reffil/internal/nn"
+	"reffil/internal/telemetry"
 	"reffil/internal/tensor"
 )
 
@@ -235,6 +237,10 @@ type Engine struct {
 	// wire state are installed and the run proceeds normally — producing an
 	// accuracy matrix bit-identical to the uninterrupted run's.
 	Resume *ResumeState
+	// Telemetry, when non-nil, receives an install observation per round —
+	// fold count, unanimity bookkeeping, and the finalize+load+server-hook
+	// span. Observation only; results are unaffected.
+	Telemetry *telemetry.Sink
 }
 
 // NewEngine validates the config and builds an engine for the algorithm
@@ -602,6 +608,8 @@ func (e *Engine) runRoundAsync(sr StalenessRunner, t, r int, jobs []Job) error {
 // fold, install the aggregate into the global model, and run the method's
 // server hook.
 func (e *Engine) install(t, r int, acc *Accumulator, uploads []Upload) error {
+	start := time.Now()
+	folded := acc.Folded()
 	avg, err := acc.Finalize()
 	if err != nil {
 		return fmt.Errorf("fl: aggregating round %d: %w", r, err)
@@ -611,6 +619,10 @@ func (e *Engine) install(t, r int, acc *Accumulator, uploads []Upload) error {
 	}
 	if err := e.alg.ServerRound(t, r, uploads); err != nil {
 		return fmt.Errorf("fl: %s ServerRound: %w", e.alg.Name(), err)
+	}
+	if e.Telemetry != nil {
+		unan, broken := acc.UnanimityStats()
+		e.Telemetry.Installed(t, r, folded, unan, broken, time.Since(start))
 	}
 	return nil
 }

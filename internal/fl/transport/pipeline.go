@@ -8,6 +8,7 @@ import (
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
+	"reffil/internal/telemetry"
 	"reffil/internal/tensor"
 )
 
@@ -63,6 +64,10 @@ type Pipeline struct {
 	// membership, v7) when no slot is live, before failing the round. Zero
 	// keeps the fail-fast behaviour.
 	JoinWait time.Duration
+	// Telemetry, when non-nil, receives round observations, per-worker ack
+	// latencies, death and requeue events. Set before the first Dispatch;
+	// nil (the default) keeps the hot path allocation-free.
+	Telemetry *telemetry.Sink
 
 	// tmu guards enc, started, trackers and stats (same discipline as the
 	// barrier Runner). Never acquired while holding mu's critical work —
@@ -533,16 +538,30 @@ func (p *Pipeline) collect(slot int, st *slotState) {
 			}
 			rf.rs.LastAckNanos = nanos
 			rf.remaining--
+			p.Telemetry.ObserveAck(slot, time.Duration(nanos))
 		}
 		b.acked++
 		var finished *RoundStats
+		var finStart time.Time
+		var baseIn, baseOut int64
 		if rf.remaining == 0 {
 			finished = p.finishRound(b.round, rf)
+			finStart = rf.start
+			baseIn, baseOut = p.startIn, p.startOut
 		}
 		p.cond.Broadcast()
 		p.mu.Unlock()
-		if finished != nil && p.OnRound != nil {
-			p.OnRound(*finished)
+		if finished != nil {
+			if p.Telemetry != nil {
+				// Mirror the cumulative socket totals, not a per-round split:
+				// under overlap a round's collection window carries other
+				// rounds' traffic too (see Stats).
+				in, out := p.coord.BytesTransferred()
+				p.Telemetry.ObserveRound(finished.observation(finStart, true, out-baseOut, in-baseIn))
+			}
+			if p.OnRound != nil {
+				p.OnRound(*finished)
+			}
 		}
 	}
 }
@@ -587,6 +606,11 @@ func (p *Pipeline) workerDied(slot int) {
 	if p.closed || p.fatal != nil {
 		p.mu.Unlock()
 		return
+	}
+	if !st.dead {
+		// First observation of this death (teardown paths return above, so
+		// clean shutdowns never count as deaths).
+		p.Telemetry.WorkerDead(slot)
 	}
 	st.dead = true
 	// Collect the unfinished jobs per origin round, preserving batch order
@@ -645,6 +669,7 @@ func (p *Pipeline) workerDied(slot int) {
 			return
 		}
 		rf.rs.Attempts++
+		p.Telemetry.Requeued(rf.task, rd.round, len(rd.keys))
 		replay := &Replay{State: ToWire(rf.dict)}
 		if len(rf.payload) > 0 {
 			// Always ship the origin round's wire state: the survivor's own

@@ -8,6 +8,7 @@ import (
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
 	"reffil/internal/nn"
+	"reffil/internal/telemetry"
 	"reffil/internal/tensor"
 )
 
@@ -59,6 +60,10 @@ type Runner struct {
 	// (elastic membership, v7) before failing. Zero keeps the fail-fast
 	// behaviour: a round that loses every worker errors immediately.
 	JoinWait time.Duration
+	// Telemetry, when non-nil, receives round observations, per-worker ack
+	// latencies, death and requeue events. Set before Run; nil (the
+	// default) keeps the hot path allocation-free.
+	Telemetry *telemetry.Sink
 
 	// tmu guards enc, started, trackers and stats; tracker structs are only
 	// mutated under it too (acks from different workers land concurrently).
@@ -309,6 +314,7 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 				}
 				if err := r.coord.send(slot, b); err != nil {
 					r.dropTracker(slot) // marked dead; its jobs stay unacked
+					r.Telemetry.WorkerDead(slot)
 					return
 				}
 				mu.Lock()
@@ -332,6 +338,7 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 					u, err := r.coord.recv(slot)
 					if err != nil {
 						r.dropTracker(slot)
+						r.Telemetry.WorkerDead(slot)
 						return // dead mid-round; completed acks are kept
 					}
 					if u.Version != ProtocolVersion {
@@ -392,6 +399,7 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 							rs.FirstAckNanos = now
 						}
 						rs.LastAckNanos = now
+						r.Telemetry.ObserveAck(slot, time.Duration(now))
 						// done is called under mu: serialized, exactly once
 						// per job, while the slot goroutines keep receiving.
 						if err := done(gi, res); err != nil {
@@ -423,7 +431,11 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 			rs.UploadBytes = endIn - startIn
 			r.tmu.Lock()
 			r.stats.add(rs)
+			st := r.stats
 			r.tmu.Unlock()
+			if r.Telemetry != nil {
+				r.Telemetry.ObserveRound(rs.observation(start, false, st.BroadcastBytes, st.UploadBytes))
+			}
 			if r.OnRound != nil {
 				r.OnRound(rs)
 			}
@@ -432,6 +444,7 @@ func (r *Runner) RunEach(jobs []fl.Job, done func(i int, res fl.Result) error) e
 		if !r.Requeue {
 			return fmt.Errorf("transport: worker connection lost with %d of %d jobs unfinished (re-queue disabled)", len(unfinished), len(jobs))
 		}
+		r.Telemetry.Requeued(rs.Task, rs.Round, len(unfinished))
 		remaining = unfinished
 	}
 }

@@ -1,5 +1,11 @@
 package transport
 
+import (
+	"time"
+
+	"reffil/internal/telemetry"
+)
+
 // Stats aggregates the Runner's wire accounting: the evidence that delta
 // broadcast actually saves bytes. Byte counts are raw TCP bytes measured at
 // the coordinator's sockets (gob framing, job specs and acks included), so
@@ -100,4 +106,27 @@ func (rs RoundStats) OverlapRatio() float64 {
 		return 0
 	}
 	return float64(rs.OverlapNanos) / float64(rs.LastAckNanos)
+}
+
+// observation converts one completed round into the telemetry record. Byte
+// totals are the *cumulative* socket counters at completion rather than the
+// per-round split: the pipelined runner cannot attribute socket bytes to a
+// single in-flight round, and mirroring the running totals makes the
+// /metrics byte counters reconcile exactly with Stats for both runners.
+func (rs RoundStats) observation(start time.Time, pipelined bool, totalBroadcast, totalUpload int64) telemetry.RoundObservation {
+	return telemetry.RoundObservation{
+		Task: rs.Task, Round: rs.Round, Attempts: rs.Attempts,
+		Pipelined: pipelined, Start: start,
+		DispatchNanos: rs.DispatchNanos,
+		FirstAckNanos: rs.FirstAckNanos,
+		LastAckNanos:  rs.LastAckNanos,
+		OverlapNanos:  rs.OverlapNanos,
+		OverlapRatio:  rs.OverlapRatio(),
+		FullFrames:    rs.FullFrames, DeltaFrames: rs.DeltaFrames,
+		IdleFrames: rs.IdleFrames, Fallbacks: rs.Fallbacks,
+		PatchUploads: rs.PatchUploads, StateUploads: rs.StateUploads,
+		UploadFallbacks:     rs.UploadFallbacks,
+		TotalBroadcastBytes: totalBroadcast,
+		TotalUploadBytes:    totalUpload,
+	}
 }

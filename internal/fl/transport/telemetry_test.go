@@ -1,0 +1,295 @@
+// Telemetry acceptance gates for the transport layer: the PR-7 RoundStats
+// wall-clock timing fields must obey their defining inequalities on a real
+// loopback federation with genuinely slow workers, and a /metrics registry
+// attached to a run must reconcile exactly with the transport's own
+// cumulative Stats — the counters are the wire accounting, not an
+// approximation of it.
+package transport_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reffil/internal/data"
+	"reffil/internal/experiments"
+	"reffil/internal/fl"
+	"reffil/internal/fl/transport"
+	"reffil/internal/model"
+	"reffil/internal/telemetry"
+)
+
+// telemetryRunOpts configures one instrumented loopback federation.
+type telemetryRunOpts struct {
+	pipelined bool
+	staleness int
+	delay     func(round int, spec fl.JobSpec) int
+	straggle  map[int]func(fl.JobSpec) // worker id -> pre-ack hook
+	codec     string
+	sink      *telemetry.Sink
+	onRound   func(transport.RoundStats)
+}
+
+// runTCPTelemetry executes the full task sequence over loopback TCP with a
+// telemetry sink and/or an OnRound observer attached at every layer the
+// fedserver wires them into: coordinator, round runner, and engine.
+func runTCPTelemetry(t *testing.T, family *data.Family, domains []string, nWorkers int, opt telemetryRunOpts) transport.Stats {
+	t.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.SetTelemetry(opt.sink)
+
+	var wg sync.WaitGroup
+	workerErr := make([]error, nWorkers)
+	for id := 0; id < nWorkers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			alg, err := experiments.NewMethodFromFlag("reffil", model.DefaultConfig(family.Classes), len(domains), 7)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			ex, err := transport.NewExecutor(alg, 1)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			ex.Straggle = opt.straggle[id]
+			w, err := transport.Dial(coord.Addr(), id)
+			if err != nil {
+				workerErr[id] = err
+				return
+			}
+			defer w.Close()
+			workerErr[id] = w.Serve(ex.Handle)
+		}(id)
+	}
+	if err := coord.Accept(nWorkers, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	alg, err := experiments.NewMethodFromFlag("reffil", model.DefaultConfig(family.Classes), len(domains), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr interface {
+		fl.Runner
+		UseCodec(string) error
+		Stats() transport.Stats
+	}
+	closeTransport := func() {}
+	if opt.pipelined {
+		pl, err := transport.NewPipeline(coord, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Telemetry = opt.sink
+		pl.OnRound = opt.onRound
+		closeTransport = func() { _ = pl.Close() }
+		tr = pl
+	} else {
+		br, err := transport.NewRunner(coord, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br.Telemetry = opt.sink
+		br.OnRound = opt.onRound
+		tr = br
+	}
+	if opt.codec != "" {
+		if err := tr.UseCodec(opt.codec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runner fl.Runner = tr
+	if opt.pipelined || opt.staleness > 0 {
+		runner = &fl.AsyncRunner{Inner: tr, Staleness: opt.staleness, Delay: opt.delay, Telemetry: opt.sink}
+	}
+	eng, err := fl.NewEngineWithRunner(crossRunnerConfig(), alg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Telemetry = opt.sink
+	if _, err := eng.Run(family, domains); err != nil {
+		t.Fatal(err)
+	}
+	closeTransport()
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for id, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+	return tr.Stats()
+}
+
+// TestRoundStatsTiming pins the PR-7 wall-clock fields with bounded
+// inequalities rather than exact values: on a barrier run where every
+// worker really sleeps before each ack, the first ack cannot arrive before
+// the sleep has elapsed, acks are ordered, and a barrier round — which by
+// construction never runs concurrently with a successor — reports zero
+// overlap. A pipelined lag-all run with a slow worker must then show the
+// opposite: some round's collection genuinely overlapped later rounds.
+func TestRoundStatsTiming(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:1]
+	const sleep = 50 * time.Millisecond
+
+	var mu sync.Mutex
+	var rounds []transport.RoundStats
+	collect := func(rs transport.RoundStats) {
+		mu.Lock()
+		rounds = append(rounds, rs)
+		mu.Unlock()
+	}
+
+	runTCPTelemetry(t, family, domains, 2, telemetryRunOpts{
+		straggle: map[int]func(fl.JobSpec){
+			0: func(fl.JobSpec) { time.Sleep(sleep) },
+			1: func(fl.JobSpec) { time.Sleep(sleep) },
+		},
+		onRound: collect,
+	})
+	if len(rounds) == 0 {
+		t.Fatal("no RoundStats observed")
+	}
+	for _, rs := range rounds {
+		if rs.DispatchNanos <= 0 {
+			t.Errorf("task %d round %d: DispatchNanos %d, want > 0", rs.Task, rs.Round, rs.DispatchNanos)
+		}
+		if got := time.Duration(rs.FirstAckNanos); got < sleep {
+			t.Errorf("task %d round %d: FirstAckNanos %v, want >= straggle sleep %v", rs.Task, rs.Round, got, sleep)
+		}
+		if rs.FirstAckNanos > rs.LastAckNanos {
+			t.Errorf("task %d round %d: FirstAckNanos %d > LastAckNanos %d", rs.Task, rs.Round, rs.FirstAckNanos, rs.LastAckNanos)
+		}
+		if rs.OverlapNanos != 0 {
+			t.Errorf("task %d round %d: barrier round reports OverlapNanos %d, want 0", rs.Task, rs.Round, rs.OverlapNanos)
+		}
+		if r := rs.OverlapRatio(); r < 0 || r > 1 {
+			t.Errorf("task %d round %d: OverlapRatio %v outside [0, 1]", rs.Task, rs.Round, r)
+		}
+	}
+
+	// Pipelined S=1, every result lagging one round, worker 1 genuinely
+	// slow: round r+1 dispatches while round r's acks are still in flight,
+	// so at least one round's collection window must overlap a successor.
+	mu.Lock()
+	rounds = nil
+	mu.Unlock()
+	runTCPTelemetry(t, family, domains, 2, telemetryRunOpts{
+		pipelined: true,
+		staleness: 1,
+		delay:     func(int, fl.JobSpec) int { return 1 },
+		straggle: map[int]func(fl.JobSpec){
+			1: func(fl.JobSpec) { time.Sleep(60 * time.Millisecond) },
+		},
+		onRound: collect,
+	})
+	overlapped := false
+	for _, rs := range rounds {
+		if rs.OverlapNanos < 0 || rs.OverlapNanos > rs.LastAckNanos {
+			t.Errorf("task %d round %d: OverlapNanos %d outside [0, LastAckNanos=%d]", rs.Task, rs.Round, rs.OverlapNanos, rs.LastAckNanos)
+		}
+		if r := rs.OverlapRatio(); r < 0 || r > 1 {
+			t.Errorf("task %d round %d: OverlapRatio %v outside [0, 1]", rs.Task, rs.Round, r)
+		}
+		if rs.OverlapNanos > 0 {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Errorf("pipelined lag-all run with a slow worker reported no overlapping round in %d rounds", len(rounds))
+	}
+}
+
+// TestTelemetryReconcilesWithStats is the /metrics acceptance gate: after
+// an instrumented run, the registry's counters must equal the transport's
+// own cumulative Stats field for field — rounds, socket bytes both ways,
+// frame kinds, upload kinds, and fallbacks — and the trace file must be
+// strictly valid JSON containing the round spans.
+func TestTelemetryReconcilesWithStats(t *testing.T) {
+	family, err := data.NewFamily("pacs", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := family.Domains[:1]
+
+	reg := telemetry.NewRegistry()
+	tracePath := filepath.Join(t.TempDir(), "run.trace")
+	trc, err := telemetry.CreateTrace(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(reg, trc)
+
+	stats := runTCPTelemetry(t, family, domains, 2, telemetryRunOpts{codec: "delta", sink: sink})
+	sink.Close()
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"fed_rounds_total":                stats.Rounds,
+		"fed_broadcast_bytes_total":       stats.BroadcastBytes,
+		"fed_upload_bytes_total":          stats.UploadBytes,
+		`fed_frames_total{kind="full"}`:   stats.FullFrames,
+		`fed_frames_total{kind="delta"}`:  stats.DeltaFrames,
+		`fed_frames_total{kind="idle"}`:   stats.IdleFrames,
+		`fed_uploads_total{kind="patch"}`: stats.PatchUploads,
+		`fed_uploads_total{kind="state"}`: stats.StateUploads,
+		"fed_frame_fallbacks_total":       stats.Fallbacks,
+		"fed_upload_fallbacks_total":      stats.UploadFallbacks,
+	}
+	for name, exp := range want {
+		if got := int64(snap[name]); got != exp {
+			t.Errorf("%s = %d, want %d (transport.Stats)", name, got, exp)
+		}
+	}
+	if stats.Rounds == 0 || stats.BroadcastBytes == 0 {
+		t.Fatalf("degenerate run: %d rounds, %d broadcast bytes", stats.Rounds, stats.BroadcastBytes)
+	}
+	if got := int64(snap["fed_installs_total"]); got != stats.Rounds {
+		t.Errorf("fed_installs_total = %d, want one install per round (%d)", got, stats.Rounds)
+	}
+	if got := int64(snap["fed_worker_joins_total"]); got != 2 {
+		t.Errorf("fed_worker_joins_total = %d, want 2", got)
+	}
+	if got := int64(snap["fed_round_last_ack_seconds_count"]); got != stats.Rounds {
+		t.Errorf("fed_round_last_ack_seconds_count = %d, want %d observations", got, stats.Rounds)
+	}
+
+	// The closed trace must be strictly valid JSON (Perfetto-loadable) and
+	// contain one span per completed round on the rounds track.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	roundSpans := 0
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			if name, ok := ev["name"].(string); ok && strings.HasPrefix(name, "task ") {
+				roundSpans++
+			}
+		}
+	}
+	if int64(roundSpans) != stats.Rounds {
+		t.Errorf("trace has %d round spans, want %d", roundSpans, stats.Rounds)
+	}
+}

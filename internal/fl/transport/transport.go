@@ -50,6 +50,7 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -58,6 +59,7 @@ import (
 
 	"reffil/internal/fl"
 	"reffil/internal/fl/wire"
+	"reffil/internal/telemetry"
 	"reffil/internal/tensor"
 )
 
@@ -298,6 +300,9 @@ type Coordinator struct {
 	// Runner's per-round byte accounting snapshots.
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
+	// tel records membership telemetry (joins, live-worker gauge, wedge
+	// detections). Nil — the default — disables it; see SetTelemetry.
+	tel *telemetry.Sink
 }
 
 type wireConn struct {
@@ -410,8 +415,10 @@ func (c *Coordinator) admit(conn net.Conn) {
 	}
 	c.workers = append(c.workers, w)
 	c.joined++
+	tel, live := c.tel, c.liveLocked()
 	c.joinCond.Broadcast()
 	c.mu.Unlock()
+	tel.WorkerJoined(slot, h.WorkerID, live)
 }
 
 // Accept blocks until n more workers — beyond those previous Accept calls
@@ -482,6 +489,35 @@ func (c *Coordinator) waitJoin(timeout time.Duration, ok func() bool) error {
 	return nil
 }
 
+// SetTelemetry attaches a telemetry sink (nil-safe: a nil sink keeps
+// telemetry off). The coordinator reports membership events through it —
+// join handshakes, the live-worker gauge, and heartbeat wedge detections;
+// round-level signals come from the Runner/Pipeline layer instead.
+func (c *Coordinator) SetTelemetry(s *telemetry.Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = s
+}
+
+// telemetrySink reads the attached sink under mu (nil when telemetry is
+// off — every sink method tolerates that).
+func (c *Coordinator) telemetrySink() *telemetry.Sink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tel
+}
+
+// liveLocked counts non-dead workers. Caller holds mu.
+func (c *Coordinator) liveLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
 // SetHeartbeatTimeout overrides how long the coordinator waits for traffic
 // (acks or Pong heartbeats) from a heartbeating worker before declaring it
 // dead. Zero restores the default of 4x the worker's advertised interval.
@@ -547,6 +583,7 @@ func (c *Coordinator) markDead(slot int) {
 	if !w.dead {
 		w.dead = true
 		_ = w.conn.Close()
+		c.tel.SetLiveWorkers(c.liveLocked())
 	}
 }
 
@@ -614,6 +651,13 @@ func (c *Coordinator) recv(slot int) (Update, error) {
 		}
 		var u Update
 		if err := w.dec.Decode(&u); err != nil {
+			// A deadline-fired decode on a heartbeating slot is the wedge
+			// detector going off: the connection is open but nothing flowed
+			// for the bounded interval.
+			var ne net.Error
+			if timeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+				c.telemetrySink().WedgeDetected(slot)
+			}
 			c.markDead(slot)
 			return Update{}, fmt.Errorf("transport: receiving from worker %d: %w", slot, err)
 		}
