@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"reffil/internal/analysis/registry"
+)
+
+// infrastructure are the internal/analysis subdirectories that do not hold
+// analyzers: the framework root's test harness, the vet-tool driver, the
+// registry itself, and shared fixture trees.
+var infrastructure = map[string]bool{
+	"analysistest": true,
+	"registry":     true,
+	"testdata":     true,
+	"unitchecker":  true,
+}
+
+// TestEveryAnalyzerRegistered pins registry.All() to the filesystem: every
+// analyzer package under internal/analysis must be registered in fedvet,
+// and every registered analyzer must have a matching package directory.
+// Adding an analyzer without wiring it into the suite (or unregistering one
+// without deleting it) fails here, not in code review.
+func TestEveryAnalyzerRegistered(t *testing.T) {
+	root := filepath.Join("..", "..", "internal", "analysis")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading %s: %v", root, err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && !infrastructure[e.Name()] {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+
+	var registered []string
+	for _, a := range registry.All() {
+		registered = append(registered, a.Name)
+	}
+	sort.Strings(registered)
+
+	regSet := make(map[string]bool, len(registered))
+	for _, name := range registered {
+		if regSet[name] {
+			t.Errorf("analyzer %q registered twice", name)
+		}
+		regSet[name] = true
+	}
+	dirSet := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		dirSet[d] = true
+	}
+
+	for _, d := range dirs {
+		if !regSet[d] {
+			t.Errorf("analyzer package internal/analysis/%s is not registered in registry.All(); fedvet would silently skip it", d)
+		}
+	}
+	for _, name := range registered {
+		if !dirSet[name] {
+			t.Errorf("registered analyzer %q has no internal/analysis/%s package; name and directory must match", name, name)
+		}
+	}
+}
+
+// TestAnalyzerMetadata guards the suppression contract's lookup keys: each
+// analyzer's Name is what //fedvet:ignore directives reference, so it must
+// be non-empty and documented.
+func TestAnalyzerMetadata(t *testing.T) {
+	for _, a := range registry.All() {
+		if a.Name == "" {
+			t.Error("analyzer with empty Name registered")
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc; fedvet help output would be blank", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+}
+
+// TestInvokedByGoVet pins the dispatch heuristic between the vet-tool
+// protocol (flags or a *.cfg unit file) and human package patterns.
+func TestInvokedByGoVet(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"./..."}, false},
+		{[]string{"./internal/fl", "./cmd/fedvet"}, false},
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/vet/b012/vet.cfg"}, true},
+	}
+	for _, c := range cases {
+		if got := invokedByGoVet(c.args); got != c.want {
+			t.Errorf("invokedByGoVet(%q) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}

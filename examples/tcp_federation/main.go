@@ -31,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"time"
@@ -188,7 +189,7 @@ func run() error {
 	printMatrix("in-process", localMat)
 	for t := range tcpMat.A {
 		for i := 0; i <= t; i++ {
-			if tcpMat.A[t][i] != localMat.A[t][i] {
+			if math.Float64bits(tcpMat.A[t][i]) != math.Float64bits(localMat.A[t][i]) {
 				return fmt.Errorf("matrices diverged at [%d][%d]: TCP %v vs local %v",
 					t, i, tcpMat.A[t][i], localMat.A[t][i])
 			}
@@ -318,7 +319,7 @@ func runPipelined(family *data.Family, domains []string, barrier *metrics.Matrix
 	wg.Wait()
 	for t := range mat.A {
 		for i := 0; i <= t; i++ {
-			if mat.A[t][i] != barrier.A[t][i] {
+			if math.Float64bits(mat.A[t][i]) != math.Float64bits(barrier.A[t][i]) {
 				return fmt.Errorf("pipelined S=0 diverged at [%d][%d]: %v vs barrier %v",
 					t, i, mat.A[t][i], barrier.A[t][i])
 			}

@@ -1,0 +1,277 @@
+// Package analysistest runs one fedvet analyzer over fixture packages and
+// checks its diagnostics against the fixtures' want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library only
+// (the build environment is offline, so x/tools cannot be a dependency).
+//
+// Fixtures live under <testdata>/src/<importPath>/ and import each other by
+// those paths; imports that do not resolve inside the fixture tree fall back
+// to the standard library, typechecked from GOROOT/src by the source
+// importer. A comment of the form
+//
+//	// want "pattern" "pattern2"
+//
+// (or the /*want "pattern"*/ block form) declares that the analyzer must
+// report diagnostics on that line matching each quoted regular expression.
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by a diagnostic — unexpected and missing
+// findings both fail the test, so the fixtures pin the analyzers' positive
+// and negative space alike.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"reffil/internal/analysis"
+)
+
+// fset is shared by every fixture load in the process: the stdlib source
+// importer caches the packages it typechecks, and their positions must live
+// in the same file set as the fixtures'.
+var fset = token.NewFileSet()
+
+var (
+	stdOnce sync.Once
+	stdImp  types.Importer
+)
+
+// stdImporter typechecks standard-library imports from GOROOT/src. The
+// offline build environment ships no precompiled export data, so the source
+// importer is the only stdlib resolution path available; it is expensive on
+// first use and cached (per process) afterwards.
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(fset, "source", nil)
+	})
+	return stdImp
+}
+
+// TestData returns the calling test's testdata directory (go test runs each
+// test binary with the package directory as working directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package under testdata/src, applies the analyzer
+// through analysis.Run (so suppression, needs-a-reason and stale-directive
+// semantics are exercised exactly as in production), and matches the
+// surviving diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{testdata: testdata, cache: map[string]*loaded{}}
+	for _, path := range pkgPaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			checkPackage(t, l, a, path)
+		})
+	}
+}
+
+func checkPackage(t *testing.T, l *loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	ld, err := l.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture package %s: %v", path, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, ld.files, ld.pkg, ld.info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+	exps := wantExpectations(t, ld.files)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if !claim(exps, p, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", relPath(p.Filename), p.Line, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", relPath(e.file), e.line, e.rx.String())
+		}
+	}
+}
+
+// loaded is one fixture package's parse and typecheck result.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture import paths from <testdata>/src first and falls
+// back to the standard library, caching every package it checks so fixtures
+// that import each other share one types.Package identity.
+type loader struct {
+	testdata string
+	cache    map[string]*loaded
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return stdImporter().Import(path)
+	}
+	ld, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return ld.pkg, nil
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if ld, ok := l.cache[path]; ok {
+		return ld, nil
+	}
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries { // ReadDir returns sorted names: parse order is stable
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			// External test packages (package x_test) are a separate
+			// compilation unit; in-package _test.go files stay in so the
+			// analyzers' test-file exemption is testable.
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("fixture does not typecheck: %v", terrs[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	ld := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = ld
+	return ld, nil
+}
+
+// expectation is one parsed want pattern, bound to a (file, line).
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func wantExpectations(t *testing.T, files []*ast.File) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if strings.HasPrefix(text, "//") {
+					text = strings.TrimPrefix(text, "//")
+				} else {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range quotedStrings(t, rest, pos) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", relPath(pos.Filename), pos.Line, pat, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// quotedStrings parses the sequence of Go-quoted patterns after "want".
+func quotedStrings(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: want expects a sequence of quoted patterns, got %q", relPath(pos.Filename), pos.Line, s)
+		}
+		end := 1
+		for end < len(s) && s[end] != '"' {
+			if s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", relPath(pos.Filename), pos.Line, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", relPath(pos.Filename), pos.Line, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = s[end+1:]
+	}
+}
+
+// claim marks and consumes the first unmatched expectation on the
+// diagnostic's line whose pattern matches the message.
+func claim(exps []*expectation, p token.Position, msg string) bool {
+	for _, e := range exps {
+		if e.matched || e.file != p.Filename || e.line != p.Line {
+			continue
+		}
+		if e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func relPath(p string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return p
+}

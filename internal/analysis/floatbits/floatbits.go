@@ -1,0 +1,61 @@
+// Package floatbits flags == and != on floating-point operands in
+// non-test code. The repository's determinism claims are stated in bits,
+// not epsilons: state dicts compare via math.Float64bits (tensor.EqualBits,
+// the wire codec's changed-key scan, the aggregator's unanimity witness),
+// because an fp equality that was meant as "same value" silently conflates
+// +0/-0 and drifts through NaN. A raw float == in production code is
+// either a latent bug or a deliberate exact-bits idiom (the matmul
+// zero-skip, a gradient short-circuit) — the former gets rewritten to a
+// bits comparison, the latter carries a //fedvet:ignore floatbits <reason>
+// stating why exact equality is intended.
+package floatbits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"reffil/internal/analysis"
+)
+
+// Analyzer flags float equality comparisons outside test files.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatbits",
+	Doc: "flag ==/!= with float32/float64 operands in non-test code: bit-identity contracts compare " +
+		"via math.Float64bits (NaN- and -0-exact); a raw float equality is either a bug or a " +
+		"deliberate exact-value idiom that must say so via //fedvet:ignore floatbits <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, be.X) || isFloat(pass, be.Y) {
+				pass.Reportf(be.OpPos, "%s on floating-point operands: compare math.Float64bits for bit-identity (NaN- and -0-exact), or annotate why exact value equality is intended here", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	// Untyped constants sit in the comparison with the other operand's
+	// type; IsFloat covers float32/float64 and untyped float.
+	return b.Info()&types.IsFloat != 0
+}

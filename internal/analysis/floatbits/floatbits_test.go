@@ -1,0 +1,12 @@
+package floatbits_test
+
+import (
+	"testing"
+
+	"reffil/internal/analysis/analysistest"
+	"reffil/internal/analysis/floatbits"
+)
+
+func TestFloatBits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floatbits.Analyzer, "fb")
+}

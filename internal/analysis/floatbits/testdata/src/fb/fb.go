@@ -1,0 +1,41 @@
+package fb
+
+import "math"
+
+// Violations: raw float equality in production code.
+func Same(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func Diff(a, b float64) bool {
+	return a != b // want "!= on floating-point operands"
+}
+
+func IsZero32(v float32) bool {
+	return v == 0 // want "== on floating-point operands"
+}
+
+// Integer and string comparisons are out of scope.
+func SameInt(a, b int) bool {
+	return a == b
+}
+
+func SameName(a, b string) bool {
+	return a == b
+}
+
+// The blessed comparison: uint64 operands, silent.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Ordering comparisons are not equality and stay silent.
+func Less(a, b float64) bool {
+	return a < b
+}
+
+// Suppressed: a deliberate exact-bits idiom.
+func SkipZero(v float64) bool {
+	//fedvet:ignore floatbits exact zero-skip on a stored value, not an accumulation result
+	return v == 0
+}

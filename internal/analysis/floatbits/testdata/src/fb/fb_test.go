@@ -1,0 +1,7 @@
+package fb
+
+// Test files are exempt: determinism tests assert bit-identity from outside
+// and may compare floats directly.
+func exactEqualInTest(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,231 @@
+// Package lockedenc enforces the shared-gob-stream discipline: a
+// *gob.Encoder held in a struct field is a serialization point — two
+// goroutines interleaving Encode calls on one stream corrupt the wire
+// protocol (the PR-5 UseCodec/Run race and the PR-8 HelloAck-vs-broadcast
+// race were both exactly this). Every such field must therefore declare
+// its guarding mutex in a field comment:
+//
+//	enc *gob.Encoder // fedvet:guards sendMu
+//
+// and every method call on the field must be preceded, in the same
+// function, by a Lock() of that mutex (functions whose name ends in
+// "Locked" are trusted to have been called with the mutex held). Passing
+// the encoder out of the struct as a call argument escapes what the
+// analyzer can see and is flagged too. Sends that are provably
+// single-goroutine (e.g. on a connection not yet shared) carry a
+// //fedvet:ignore lockedenc <reason> annotation.
+package lockedenc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"reffil/internal/analysis"
+)
+
+// Analyzer flags unguarded method calls on shared gob encoder fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedenc",
+	Doc: "flag struct fields of type *gob.Encoder without a '// fedvet:guards <mutex>' binding, and " +
+		"method calls on bound fields not preceded by <mutex>.Lock() in the enclosing function: " +
+		"interleaved Encode calls on a shared gob stream corrupt the wire protocol",
+	Run: run,
+}
+
+const guardsPrefix = "fedvet:guards"
+
+// guardedField binds one encoder field object to its declared mutex name.
+type guardedField struct {
+	obj   types.Object
+	mutex string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		checkUses(pass, f, guards)
+	}
+	return nil
+}
+
+// collectGuards finds every *gob.Encoder struct field in the package,
+// reporting those without a fedvet:guards binding and returning the rest.
+func collectGuards(pass *analysis.Pass) []guardedField {
+	var out []guardedField
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[field.Type]
+				if !ok || !isGobEncoderPtr(tv.Type) {
+					continue
+				}
+				mutex := guardsDirective(field)
+				for _, name := range field.Names {
+					if mutex == "" {
+						pass.Reportf(name.Pos(), "shared *gob.Encoder field %s declares no guarding mutex; add '// fedvet:guards <mutexField>' so lockedenc can hold senders to the lock discipline", name.Name)
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out = append(out, guardedField{obj: obj, mutex: mutex})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardsDirective extracts the mutex name from a field's doc or trailing
+// comment, or "" if the field has no fedvet:guards binding.
+func guardsDirective(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, guardsPrefix); ok {
+				name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func isGobEncoderPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Encoder" && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/gob"
+}
+
+// checkUses walks one file flagging encoder-field uses that the lock
+// discipline does not cover.
+func checkUses(pass *analysis.Pass, f *ast.File, guards []guardedField) {
+	lookup := func(sel *ast.SelectorExpr) *guardedField {
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return nil
+		}
+		for i := range guards {
+			if guards[i].obj == obj {
+				return &guards[i]
+			}
+		}
+		return nil
+	}
+
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Method call on a guarded field: x.enc.Encode(v).
+		if m, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if recv, ok := m.X.(*ast.SelectorExpr); ok {
+				if g := lookup(recv); g != nil && !heldAt(pass, stack, g.mutex, call.Pos()) {
+					pass.Reportf(call.Pos(), "%s on gob encoder bound to mutex %q without a preceding %s.Lock() in this function: concurrent senders interleave on the shared stream and corrupt the protocol", exprString(m), g.mutex, g.mutex)
+				}
+			}
+		}
+
+		// Guarded field escaping as a call argument: the analyzer cannot
+		// follow the encoder past this function boundary.
+		for _, arg := range call.Args {
+			if sel, ok := arg.(*ast.SelectorExpr); ok {
+				if g := lookup(sel); g != nil {
+					pass.Reportf(arg.Pos(), "%s escapes as a call argument; lockedenc cannot verify the %q discipline past this function — inline the send under the lock or annotate why the callee is safe", exprString(sel), g.mutex)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// heldAt reports whether the enclosing function plausibly holds the named
+// mutex at pos: either its name ends in "Locked" (caller-holds-lock
+// convention) or a <x>.<mutex>.Lock() call appears before pos in its body.
+func heldAt(pass *analysis.Pass, stack []ast.Node, mutex string, pos token.Pos) bool {
+	var fn ast.Node
+	var name string
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch d := stack[i].(type) {
+		case *ast.FuncDecl:
+			fn, name = d, d.Name.Name
+		case *ast.FuncLit:
+			if fn == nil {
+				fn = d
+			}
+		}
+		if fn != nil {
+			break
+		}
+	}
+	if fn == nil {
+		return false
+	}
+	if strings.HasSuffix(name, "Locked") {
+		return true
+	}
+	held := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || held {
+			return !held
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			held = held || x.Sel.Name == mutex
+		case *ast.Ident:
+			held = held || x.Name == mutex
+		}
+		return !held
+	})
+	return held
+}
+
+// exprString renders a short selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	default:
+		return "encoder"
+	}
+}

@@ -1,0 +1,12 @@
+package lockedenc_test
+
+import (
+	"testing"
+
+	"reffil/internal/analysis/analysistest"
+	"reffil/internal/analysis/lockedenc"
+)
+
+func TestLockedEnc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockedenc.Analyzer, "lockedfix")
+}

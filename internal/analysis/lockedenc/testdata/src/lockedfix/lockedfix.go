@@ -1,0 +1,72 @@
+package lockedfix
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+// conn binds its shared encoder to mu: lockedenc checks every Encode call
+// against that declaration.
+type conn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder // fedvet:guards mu
+}
+
+// naked declares no guard at all: flagged at the field.
+type naked struct {
+	enc *gob.Encoder // want "declares no guarding mutex"
+}
+
+// Good: the bound mutex is locked before the encode.
+func (c *conn) send(v any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(v)
+}
+
+// Bad: no lock in sight.
+func (c *conn) sendUnguarded(v any) error {
+	return c.enc.Encode(v) // want "without a preceding mu.Lock"
+}
+
+// Trusted by convention: a function named *Locked is called with the mutex
+// already held.
+func (c *conn) sendLocked(v any) error {
+	return c.enc.Encode(v)
+}
+
+// Bad: the encoder escapes where the analyzer cannot follow it.
+func (c *conn) handoff() {
+	use(c.enc) // want "escapes as a call argument"
+}
+
+func use(e *gob.Encoder) {
+	_ = e
+}
+
+// Suppressed: a provably single-goroutine send.
+func (c *conn) hello(v any) error {
+	//fedvet:ignore lockedenc handshake send before the conn is shared with any other goroutine
+	return c.enc.Encode(v)
+}
+
+// twoLocks exercises the binding itself: only the declared mutex counts.
+type twoLocks struct {
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	enc    *gob.Encoder // fedvet:guards sendMu
+}
+
+// Bad: locking a different mutex does not satisfy the binding.
+func (t *twoLocks) sendWrongLock(v any) error {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	return t.enc.Encode(v) // want "without a preceding sendMu.Lock"
+}
+
+// Good: the bound mutex.
+func (t *twoLocks) sendBound(v any) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	return t.enc.Encode(v)
+}

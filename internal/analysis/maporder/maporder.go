@@ -1,0 +1,112 @@
+// Package maporder flags range statements that iterate a state-dict-shaped
+// map directly. Go randomizes map iteration order, so ranging over a
+// map[string]*tensor.Tensor while accumulating floats or encoding bytes is
+// exactly how cross-runner and resume bit-identity dies. The blessed idiom
+// materializes and sorts the keys first (see sortedKeys in
+// internal/fl/wire/codec.go and the sharded fold in internal/fl) and
+// ranges over the resulting slice — slice iteration is never flagged, so
+// code using the idiom is silent by construction.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reffil/internal/analysis"
+)
+
+// Analyzer flags non-deterministic iteration over tensor-valued maps in
+// non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range over map[...]*tensor.Tensor in non-test code: map iteration order is random, " +
+		"so any fp accumulation or wire encoding it feeds breaks bit-identity; materialize and sort " +
+		"the keys first (the sortedKeys idiom), or annotate an order-insensitive loop with " +
+		"//fedvet:ignore maporder <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			m, ok := tv.Type.Underlying().(*types.Map)
+			if !ok || !isTensorPtr(m.Elem()) {
+				return true
+			}
+			if isKeyMaterialization(pass, rs) {
+				// The blessed idiom's first half: collect the keys into a
+				// slice (to be sorted) and nothing else. Order-insensitive
+				// by construction.
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over %s iterates in random order; materialize and sort the keys first (sortedKeys idiom) so downstream accumulation/encoding stays bit-identical", types.TypeString(tv.Type, nil))
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyMaterialization reports whether the range statement is the pure
+// key-collection half of the sortedKeys idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// — key only (no value binding), and a body that is exactly one append of
+// the key onto a slice. Any other body shape must sort first or justify
+// itself.
+func isKeyMaterialization(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[arg] != pass.TypesInfo.Defs[key] {
+		return false
+	}
+	return true
+}
+
+// isTensorPtr reports whether t is *tensor.Tensor (matched by package and
+// type name so both the real internal/tensor package and test fixtures
+// qualify).
+func isTensorPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Tensor" && obj.Pkg() != nil && obj.Pkg().Name() == "tensor"
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"reffil/internal/analysis/analysistest"
+	"reffil/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "a")
+}

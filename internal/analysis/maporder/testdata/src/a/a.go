@@ -1,0 +1,87 @@
+package a
+
+import (
+	"sort"
+
+	"tensor"
+)
+
+// Violation: direct range over a tensor map feeding an accumulation.
+func SumDirect(m map[string]*tensor.Tensor) float64 {
+	s := 0.0
+	for _, t := range m { // want "iterates in random order"
+		s += t.Data[0]
+	}
+	return s
+}
+
+// Blessed: the sortedKeys idiom is silent by construction — the key
+// materialization loop collects and nothing else.
+func SumSorted(m map[string]*tensor.Tensor) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += m[k].Data[0]
+	}
+	return s
+}
+
+// Slice iteration is ordered and never flagged.
+func SumSlice(ts []*tensor.Tensor) float64 {
+	s := 0.0
+	for _, t := range ts {
+		s += t.Data[0]
+	}
+	return s
+}
+
+// Maps with non-tensor elements are out of scope.
+func CountInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A loop that does more than materialize keys is not the blessed idiom,
+// even if it also appends the key.
+func KeysAndCount(m map[string]*tensor.Tensor) ([]string, int) {
+	var keys []string
+	n := 0
+	for k := range m { // want "iterates in random order"
+		keys = append(keys, k)
+		n++
+	}
+	return keys, n
+}
+
+// Suppressed with a reason: silent.
+func Rekey(m map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(m))
+	//fedvet:ignore maporder map-to-map copy is order-insensitive
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// A bare directive suppresses nothing and is itself flagged.
+func RekeyBare(m map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(m))
+	/*fedvet:ignore maporder*/ // want "needs a reason"
+	for k, v := range m {      // want "iterates in random order"
+		out[k] = v
+	}
+	return out
+}
+
+// A directive that silences nothing is stale.
+func Stale(ts []*tensor.Tensor) int {
+	/*fedvet:ignore maporder slices are ordered*/ // want "stale fedvet:ignore maporder"
+	return len(ts)
+}

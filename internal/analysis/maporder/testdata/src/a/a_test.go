@@ -1,0 +1,13 @@
+package a
+
+import "tensor"
+
+// Test files are exempt: bit-identity asserts and debug dumps may range
+// maps directly; the contract binds production code.
+func sumInTest(m map[string]*tensor.Tensor) float64 {
+	s := 0.0
+	for _, t := range m {
+		s += t.Data[0]
+	}
+	return s
+}

@@ -1,0 +1,9 @@
+// Package tensor is a fixture stand-in for reffil/internal/tensor: the
+// analyzer matches *tensor.Tensor by package and type name, so this shape is
+// all it needs.
+package tensor
+
+// Tensor mirrors the real tensor's identity, not its behavior.
+type Tensor struct {
+	Data []float64
+}

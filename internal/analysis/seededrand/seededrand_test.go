@@ -1,0 +1,13 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"reffil/internal/analysis/analysistest"
+	"reffil/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seededrand.Analyzer,
+		"internal/fl/randbad", "cmd/randok")
+}

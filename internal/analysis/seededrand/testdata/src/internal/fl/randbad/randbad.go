@@ -1,0 +1,37 @@
+package randbad
+
+import (
+	crand "crypto/rand" // want "crypto/rand in deterministic package"
+	"math/rand"
+)
+
+// Violations: package-level draws hit the process-global source.
+func Jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the process-global source"
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the process-global source"
+}
+
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global source"
+}
+
+// Blessed: an explicitly seeded generator; constructors and methods on the
+// instance are the contract's happy path.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Suppressed with a reason.
+func Noise() float64 {
+	//fedvet:ignore seededrand demo-only jitter that never feeds model state
+	return rand.Float64()
+}
+
+// crypto/rand draws are covered by the import diagnostic above.
+func Nonce(b []byte) {
+	crand.Read(b)
+}

@@ -1,0 +1,228 @@
+// Package unitchecker implements the cmd/go vet-tool protocol for the
+// fedvet suite, so CI and developers run the analyzers through the
+// standard entry point:
+//
+//	go build -o fedvet ./cmd/fedvet
+//	go vet -vettool=./fedvet ./...
+//
+// This is a standard-library reimplementation of the protocol that
+// golang.org/x/tools/go/analysis/unitchecker speaks (the build
+// environment is offline, so x/tools is unavailable): cmd/go invokes the
+// tool once per package with a JSON config file describing the unit —
+// source files, the import map, and compiler export-data files for every
+// dependency — and expects the tool to type-check the unit, print
+// findings to stderr, write its (here: empty) facts file, and exit 2 when
+// findings exist. go/importer's lookup API reads the gc export data, so
+// no tooling outside the standard library is needed.
+package unitchecker
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"reffil/internal/analysis"
+)
+
+// config mirrors the JSON schema cmd/go writes for vet tools (the field
+// set of x/tools' unitchecker.Config; unused fields are kept so the file
+// round-trips cleanly if the schema is inspected while debugging).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary: it parses the protocol
+// flags, loads the unit config named by the single positional argument,
+// and runs the analyzers. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go buildID handshake)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go flag validation)")
+	jsonFlag := fs.Bool("json", false, "emit JSON diagnostics to stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s [package...]\n", progname)
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		// cmd/go hashes the last field of this line into its action cache
+		// key and insists the line starts with "<argv0> version devel"
+		// for non-release tools — same shape x/tools' unitchecker prints.
+		fmt.Printf("%s version devel buildID=%s\n", os.Args[0], selfHash())
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		// No analyzer-specific flags are exposed.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || filepath.Ext(args[0]) != ".cfg" {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	diags, err := runUnit(args[0], *jsonFlag, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// selfHash fingerprints the executable so cmd/go's vet action cache
+// invalidates when the tool is rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	fi, err := os.Stat(exe)
+	if err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d-%d", fi.Size(), fi.ModTime().UnixNano())
+}
+
+// runUnit checks one package unit and returns the diagnostics it printed.
+func runUnit(cfgPath string, jsonOut bool, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// cmd/go requires the facts file to exist even for fact-free tools;
+	// write it first so every exit path below leaves it behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: cmd/go wants facts, the suite has
+		// none, nothing to analyze.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	if tc.Sizes == nil {
+		tc.Sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	print := printPlain
+	if jsonOut {
+		print = printJSON
+	}
+	print(fset, cfg.ImportPath, diags)
+	return diags, nil
+}
+
+func printPlain(fset *token.FileSet, _ string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// printJSON emits the same shape as x/tools' unitchecker -json output:
+// {"<pkg>": {"<analyzer>": [{posn, message}, ...]}}.
+func printJSON(fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out, _ := json.MarshalIndent(map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}, "", "\t")
+	os.Stdout.Write(append(out, '\n'))
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

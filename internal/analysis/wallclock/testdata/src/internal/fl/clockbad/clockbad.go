@@ -1,0 +1,27 @@
+package clockbad
+
+import "time"
+
+// Violations: wall-clock reads on the deterministic path.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now on a deterministic path"
+}
+
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since on a deterministic path"
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until on a deterministic path"
+}
+
+// time.Time values and arithmetic are fine; only the clock reads are banned.
+func Shift(t0 time.Time) time.Time {
+	return t0.Add(time.Second)
+}
+
+// Suppressed with a reason: a state-free telemetry observation.
+func Observe() time.Time {
+	//fedvet:ignore wallclock telemetry-only observation that never reaches state
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"reffil/internal/analysis/analysistest"
+	"reffil/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer,
+		"internal/fl/clockbad", "internal/fl/transport")
+}

@@ -148,6 +148,7 @@ func CosineSimToConst(u *Value, p *tensor.Tensor) (*Value, error) {
 			gi := g.Data()[i*d : (i+1)*d]
 			for j := 0; j < n; j++ {
 				gij := node.Grad.At(i, j)
+				//fedvet:ignore floatbits exact zero-skip: the guard is a pure function of the operand bits, so skipping zero contributions is deterministic
 				if gij == 0 {
 					continue
 				}
@@ -195,6 +196,7 @@ func CosineSimPairs(u *Value, v *tensor.Tensor) (*Value, error) {
 		g := tensor.New(m, d)
 		for i := 0; i < m; i++ {
 			gi := node.Grad.At(i)
+			//fedvet:ignore floatbits exact zero-skip: the guard is a pure function of the operand bits, so skipping zero contributions is deterministic
 			if gi == 0 {
 				continue
 			}

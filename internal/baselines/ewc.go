@@ -180,9 +180,11 @@ func (f *FedEWC) Predict(x *tensor.Tensor) ([]int, error) {
 // "ref/" prefixes (empty before the first OnTaskEnd).
 func (f *FedEWC) EncodeWireState() ([]byte, error) {
 	dict := make(map[string]*tensor.Tensor, 2*len(f.fisher))
+	//fedvet:ignore maporder map-to-map rekey is order-insensitive; checkpoint.Save sorts keys before encoding
 	for k, v := range f.fisher {
 		dict["fisher/"+k] = v
 	}
+	//fedvet:ignore maporder map-to-map rekey is order-insensitive; checkpoint.Save sorts keys before encoding
 	for k, v := range f.ref {
 		dict["ref/"+k] = v
 	}
@@ -205,6 +207,7 @@ func (f *FedEWC) LoadWireState(b []byte) error {
 	}
 	fisher := make(map[string]*tensor.Tensor)
 	ref := make(map[string]*tensor.Tensor)
+	//fedvet:ignore maporder splitting one map into two by key prefix is order-insensitive
 	for k, v := range dict {
 		switch {
 		case strings.HasPrefix(k, "fisher/"):

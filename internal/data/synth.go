@@ -201,6 +201,7 @@ func (t DomainTransform) Apply(size, k int, digits bool, rng *rand.Rand) *tensor
 	if t.Background > 0 {
 		applyBackground(img, size, t.Background, t.BackgroundFreq, rng)
 	}
+	//fedvet:ignore floatbits exact non-default config gate on a literal, not an accumulation compare
 	if t.Contrast != 1 {
 		for i, v := range img.Data() {
 			img.Data()[i] = 0.5 + (v-0.5)*t.Contrast

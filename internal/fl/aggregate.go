@@ -90,6 +90,7 @@ func (a *Accumulator) Fold(dict map[string]*tensor.Tensor, w float64) error {
 	}
 	if a.first == nil {
 		a.names = make([]string, 0, len(dict))
+		//fedvet:ignore maporder key materialization plus a commutative integer size sum; names are sorted on the next line
 		for name, t := range dict {
 			a.names = append(a.names, name)
 			a.elems += t.Size()

@@ -608,6 +608,7 @@ func (e *Engine) runRoundAsync(sr StalenessRunner, t, r int, jobs []Job) error {
 // fold, install the aggregate into the global model, and run the method's
 // server hook.
 func (e *Engine) install(t, r int, acc *Accumulator, uploads []Upload) error {
+	//fedvet:ignore wallclock telemetry-only install duration; the value never reaches state, frames, or checkpoints
 	start := time.Now()
 	folded := acc.Folded()
 	avg, err := acc.Finalize()
@@ -622,6 +623,7 @@ func (e *Engine) install(t, r int, acc *Accumulator, uploads []Upload) error {
 	}
 	if e.Telemetry != nil {
 		unan, broken := acc.UnanimityStats()
+		//fedvet:ignore wallclock telemetry-only install duration; the value never reaches state, frames, or checkpoints
 		e.Telemetry.Installed(t, r, folded, unan, broken, time.Since(start))
 	}
 	return nil

@@ -109,6 +109,7 @@ type WireTensor struct {
 // ToWire converts a state dict for transmission.
 func ToWire(dict map[string]*tensor.Tensor) map[string]WireTensor {
 	out := make(map[string]WireTensor, len(dict))
+	//fedvet:ignore maporder map-to-map conversion is order-insensitive; gob encodes the result through the codec's sorted-key path
 	for k, v := range dict {
 		out[k] = WireTensor{Shape: v.Shape(), Data: append([]float64(nil), v.Data()...)}
 	}
@@ -307,7 +308,9 @@ type Coordinator struct {
 
 type wireConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
+	// The coordinator's mu serializes every sender on this stream: round
+	// broadcasts, HelloAck admission replies, and shutdown Done frames.
+	enc  *gob.Encoder // fedvet:guards mu
 	dec  *gob.Decoder
 	dead bool
 	// id/codec/heartbeat are the Hello metadata the slot was admitted with
@@ -391,6 +394,7 @@ func (c *Coordinator) admit(conn net.Conn) {
 		return
 	}
 	if h.Version != ProtocolVersion {
+		//fedvet:ignore lockedenc pre-admission: this handshake goroutine owns the conn exclusively until the slot is appended to workers
 		_ = w.enc.Encode(HelloAck{Version: ProtocolVersion, Error: fmt.Sprintf("coordinator speaks protocol v%d, worker %d dialed with v%d", ProtocolVersion, h.WorkerID, h.Version)})
 		_ = conn.Close()
 		return
@@ -610,6 +614,7 @@ func (c *Coordinator) send(slot int, b Broadcast) error {
 		return err
 	}
 	b.Version = ProtocolVersion
+	//fedvet:ignore lockedenc post-admission sends are serialized by the single round-dispatch goroutine per stream; admit excludes the handshake by encoding HelloAck under mu before the slot becomes visible
 	if err := w.enc.Encode(b); err != nil {
 		c.markDead(slot)
 		return fmt.Errorf("transport: sending to worker %d: %w", slot, err)
@@ -708,7 +713,7 @@ func (c *Coordinator) Close() error {
 type Worker struct {
 	id   int
 	conn net.Conn
-	enc  *gob.Encoder
+	enc  *gob.Encoder // fedvet:guards sendMu
 	dec  *gob.Decoder
 	// sendMu serializes outgoing updates: Serve's job acks and final
 	// frames interleave with the heartbeat goroutine's Pong frames on the
@@ -754,6 +759,7 @@ func DialWith(addr string, id int, opts DialOptions) (*Worker, error) {
 	if opts.Timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(opts.Timeout))
 	}
+	//fedvet:ignore lockedenc handshake send before Serve and the heartbeat goroutine exist; the dialing goroutine owns the conn exclusively here
 	if err := w.enc.Encode(Hello{Version: ProtocolVersion, WorkerID: id, Codec: opts.Codec, Heartbeat: opts.Heartbeat}); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("transport: worker %d hello: %w", id, err)

@@ -191,6 +191,7 @@ func (c DeltaTopK) Encode(base, next map[string]*tensor.Tensor) (*Patch, error) 
 				sort.Slice(idx, func(a, b int) bool {
 					da := math.Abs(nd[idx[a]] - bd[idx[a]])
 					db := math.Abs(nd[idx[b]] - bd[idx[b]])
+					//fedvet:ignore floatbits sort comparator on |change| magnitudes: a pure function of the operands with position tie-breaks, deterministic for any bit pattern
 					if da != db {
 						return da > db
 					}
@@ -268,6 +269,7 @@ func compatible(base, next map[string]*tensor.Tensor) bool {
 	if base == nil || len(base) != len(next) {
 		return false
 	}
+	//fedvet:ignore maporder pure key-set and size predicate; the boolean result is order-insensitive
 	for k, n := range next {
 		b, ok := base[k]
 		if !ok || b.Size() != n.Size() {

@@ -239,6 +239,7 @@ func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor
 		return nil, fmt.Errorf("wire: delta patch without a base state")
 	}
 	out := make(map[string]*tensor.Tensor, len(base))
+	//fedvet:ignore maporder map-to-map copy is order-insensitive
 	for k, v := range base {
 		out[k] = v
 	}
@@ -248,6 +249,7 @@ func Decode(base map[string]*tensor.Tensor, p *Patch) (map[string]*tensor.Tensor
 		if err != nil {
 			return nil, fmt.Errorf("wire: dense overlay: %w", err)
 		}
+		//fedvet:ignore maporder keyed overlay writes into a map; per-key replacement is order-insensitive
 		for k, v := range over {
 			bt, ok := base[k]
 			if !ok {

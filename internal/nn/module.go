@@ -10,6 +10,7 @@ package nn
 
 import (
 	"fmt"
+	"sort"
 
 	"reffil/internal/autograd"
 	"reffil/internal/tensor"
@@ -83,11 +84,17 @@ func LoadStateDict(m Module, dict map[string]*tensor.Tensor) error {
 		}
 	}
 	if len(used) != len(dict) {
+		// Report the smallest unknown key so the error is the same on
+		// every run regardless of map iteration order.
+		unknown := make([]string, 0, len(dict)-len(used))
+		//fedvet:ignore maporder collects the full unknown-key set, sorted before any is reported
 		for name := range dict {
 			if !used[name] {
-				return fmt.Errorf("nn: state dict has unknown entry %q", name)
+				unknown = append(unknown, name)
 			}
 		}
+		sort.Strings(unknown)
+		return fmt.Errorf("nn: state dict has unknown entry %q", unknown[0])
 	}
 	return nil
 }

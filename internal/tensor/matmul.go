@@ -100,6 +100,7 @@ func matmulRows(c, a, b []float64, lo, hi, k, n int) {
 		ai := a[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
 			av := ai[p]
+			//fedvet:ignore floatbits exact zero-skip: the guard is a pure function of the operand bits, so skipping zero contributions is deterministic
 			if av == 0 {
 				continue
 			}
@@ -129,6 +130,7 @@ func matmulRowsBlocked(c, a, panels []float64, lo, hi, k, n int) {
 			ai := a[i*k : (i+1)*k]
 			for p := 0; p < k; p++ {
 				av := ai[p]
+				//fedvet:ignore floatbits exact zero-skip: the guard is a pure function of the operand bits, so skipping zero contributions is deterministic
 				if av == 0 {
 					continue
 				}
@@ -183,6 +185,7 @@ func MatMulT1(a, b *Tensor) *Tensor {
 				bp := b.data[p*n+j0 : p*n+j0+tw]
 				for i := lo; i < hi; i++ {
 					av := ap[i]
+					//fedvet:ignore floatbits exact zero-skip: the guard is a pure function of the operand bits, so skipping zero contributions is deterministic
 					if av == 0 {
 						continue
 					}

@@ -261,6 +261,7 @@ func Dot(a, b *Tensor) float64 {
 // tensors viewed as flat vectors. Zero vectors yield similarity 0.
 func CosineSimilarity(a, b *Tensor) float64 {
 	na, nb := a.L2Norm(), b.L2Norm()
+	//fedvet:ignore floatbits exact zero-vector guard: norms are non-negative and the check is a pure function of the bits
 	if na == 0 || nb == 0 {
 		return 0
 	}
